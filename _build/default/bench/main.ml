@@ -1,0 +1,201 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Figure regeneration — for every figure in the paper's evaluation
+      (Sections 5-6) plus the DESIGN.md ablations, run the corresponding
+      experiment and print the same rows/series the paper plots.  Pass
+      figure ids as argv to restrict (e.g. `bench/main.exe fig4c fig7`);
+      set CLOVE_BENCH_QUICK=1 for a fast smoke pass, CLOVE_BENCH_FULL=1
+      for the slow high-fidelity pass.
+
+   2. Bechamel microbenchmarks of the dataplane hot paths the paper's
+      Section 4 worries about ("minimal packet processing overhead"):
+      flowlet lookup, WRR pick, ECMP hashing, weight adaptation, event
+      queue churn, DRE updates, and a full per-packet switch traversal. *)
+
+open Experiments
+
+(* ---------------------- part 1: figure regeneration ---------------- *)
+
+let opts () =
+  match (Sys.getenv_opt "CLOVE_BENCH_QUICK", Sys.getenv_opt "CLOVE_BENCH_FULL") with
+  | Some _, _ -> Sweep.quick_opts
+  | _, Some _ -> { Sweep.jobs_per_conn = 400; seeds = [ 1; 2; 3 ] }
+  | None, None -> { Sweep.jobs_per_conn = 150; seeds = [ 1; 2; 3 ] }
+
+let incast_requests () =
+  match Sys.getenv_opt "CLOVE_BENCH_QUICK" with Some _ -> 5 | None -> 15
+
+let run_figures ids =
+  let opts = opts () in
+  let runners =
+    [
+      ("fig4b", fun () -> Figures.fig4b ~opts ());
+      ("fig4c", fun () -> Figures.fig4c ~opts ());
+      ("fig5a", fun () -> Figures.fig5a ~opts ());
+      ("fig5b", fun () -> Figures.fig5b ~opts ());
+      ("fig5c", fun () -> Figures.fig5c ~opts ());
+      ("fig6", fun () -> Figures.fig6 ~opts ());
+      ("fig7", fun () -> Figures.fig7 ~requests:(incast_requests ()) ());
+      ("fig8a", fun () -> Figures.fig8a ~opts ());
+      ("fig8b", fun () -> Figures.fig8b ~opts ());
+      ("fig9", fun () -> Figures.fig9 ~opts ());
+      ("ablation-relay", fun () -> Figures.ablation_relay ~opts ());
+      ("ablation-paths", fun () -> Figures.ablation_paths ~opts ());
+      ("ablation-beta", fun () -> Figures.ablation_beta ~opts ());
+    ]
+    @ List.map
+        (fun (id, runner) -> (id, fun () -> runner opts))
+        Extensions.all
+  in
+  let selected =
+    match ids with
+    | [] -> runners
+    | ids -> List.filter (fun (id, _) -> List.mem id ids) runners
+  in
+  let csv_dir = "results" in
+  (try Unix.mkdir csv_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (id, runner) ->
+      let t0 = Sys.time () in
+      let report = runner () in
+      Format.printf "%a" Figures.pp_report report;
+      Format.printf "(%s regenerated in %.1fs cpu)@.@." id (Sys.time () -. t0);
+      (* machine-readable copy for plotting *)
+      let oc = open_out (Filename.concat csv_dir (id ^ ".csv")) in
+      output_string oc (Stats.Table.csv report.Figures.table);
+      close_out oc)
+    selected
+
+(* ------------------- part 2: dataplane microbenchmarks ------------- *)
+
+let microbenches () =
+  let open Bechamel in
+  let sched = Scheduler.create () in
+  let cfg = Clove.Clove_config.default in
+  let rng = Rng.create 1 in
+
+  let flowlet_table = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 40) in
+  let bench_flowlet =
+    Test.make ~name:"flowlet-table touch"
+      (Staged.stage (fun () ->
+           ignore
+             (Clove.Flowlet.touch flowlet_table ~key:(Rng.int rng 1024)
+                ~pick:(fun ~flowlet_id -> flowlet_id))))
+  in
+  let wrr = Clove.Wrr.create ~weights:[| 0.1; 0.3; 0.3; 0.3 |] in
+  let bench_wrr =
+    Test.make ~name:"wrr pick" (Staged.stage (fun () -> ignore (Clove.Wrr.pick wrr)))
+  in
+  let bench_hash =
+    Test.make ~name:"ecmp 5-tuple hash"
+      (Staged.stage (fun () ->
+           ignore (Ecmp_hash.hash_tuple ~seed:7 (12, 34, 56, 78))))
+  in
+  let tbl = Clove.Path_table.create ~sched ~cfg in
+  Clove.Path_table.install tbl
+    [
+      (50001, [ { Packet.hop_node = 2; hop_port = 0 } ]);
+      (50002, [ { Packet.hop_node = 2; hop_port = 1 } ]);
+      (50003, [ { Packet.hop_node = 3; hop_port = 0 } ]);
+      (50004, [ { Packet.hop_node = 3; hop_port = 1 } ]);
+    ];
+  let bench_weights =
+    Test.make ~name:"path-table congestion update"
+      (Staged.stage (fun () -> Clove.Path_table.note_congested tbl ~port:50002))
+  in
+  let eq = Event_queue.create () in
+  let bench_eq =
+    Test.make ~name:"event-queue add+pop"
+      (Staged.stage (fun () ->
+           Event_queue.add eq ~time:(Sim_time.of_ns (Rng.int rng 1_000_000)) ();
+           ignore (Event_queue.pop eq)))
+  in
+  let dre = Dre.create ~rate_bps:10e9 sched in
+  let bench_dre =
+    Test.make ~name:"dre observe+read"
+      (Staged.stage (fun () ->
+           Dre.observe dre ~bytes_len:1500;
+           ignore (Dre.utilization dre)))
+  in
+  (* a full switch traversal: receive -> route -> pick -> enqueue *)
+  let sw_sched = Scheduler.create () in
+  let sw =
+    Switch.create ~sched:sw_sched ~id:0 ~level:Switch.Leaf ~ecmp_seed:3
+      ~latency:Sim_time.zero_span ()
+  in
+  let mk_link () =
+    let l =
+      Link.create ~sched:sw_sched ~rate_bps:40e9 ~prop_delay:Sim_time.zero_span ()
+    in
+    Link.set_sink l (fun _ -> ());
+    l
+  in
+  let ports =
+    Array.init 4 (fun i ->
+        Switch.add_port sw ~link:(mk_link ()) ~peer:(i + 1) ~parallel_index:0)
+  in
+  Switch.set_routes sw (Addr.of_int 99) ports;
+  let seg =
+    {
+      Packet.conn_id = 1;
+      subflow = 0;
+      src_port = 1;
+      dst_port = 2;
+      seq = 0;
+      ack = 0;
+      kind = Packet.Data;
+      payload = 1400;
+      ece = false;
+    }
+  in
+  let bench_switch =
+    Test.make ~name:"switch per-packet forwarding"
+      (Staged.stage (fun () ->
+           let pkt =
+             Packet.make_tenant ~src:(Addr.of_int 1) ~dst:(Addr.of_int 99) ~seg
+           in
+           Switch.receive sw ~in_port:0 pkt;
+           (* drain the zero-latency forwarding event *)
+           ignore (Scheduler.step sw_sched)))
+  in
+  let tests =
+    [
+      bench_flowlet;
+      bench_wrr;
+      bench_hash;
+      bench_weights;
+      bench_eq;
+      bench_dre;
+      bench_switch;
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let bcfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+    Benchmark.all bcfg instances test
+  in
+  Format.printf "== dataplane microbenchmarks (ns/op, OLS estimate) ==@.";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> Format.printf "  %-32s %10.1f ns/op@." name est
+          | Some [] | None -> Format.printf "  %-32s (no estimate)@." name)
+        analyzed)
+    tests;
+  Format.printf "@."
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let figure_ids = List.filter (fun a -> a <> "--micro-only") args in
+  Format.printf "Clove reproduction benchmark harness@.";
+  Format.printf
+    "(CLOVE_BENCH_QUICK=1 for smoke, CLOVE_BENCH_FULL=1 for high fidelity)@.@.";
+  microbenches ();
+  if not (List.mem "--micro-only" args) then run_figures figure_ids

@@ -1,0 +1,151 @@
+(* clove-sim: command-line front end for the Clove reproduction.
+
+   Subcommands:
+     run   — one workload point (scheme, load, topology), prints FCT stats
+     exp   — regenerate a paper figure by id (fig4b ... fig9, ablations)
+     list  — list available experiments *)
+
+open Cmdliner
+open Experiments
+
+let scheme_conv =
+  let parse s =
+    match Scenario.scheme_of_string s with
+    | Some sch -> Ok sch
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Scenario.scheme_name s) in
+  Arg.conv (parse, print)
+
+let scheme_arg =
+  let doc =
+    "Load-balancing scheme: ecmp, edge-flowlet, clove-ecn, clove-int, \
+     clove-latency, presto, mptcp, conga, letflow."
+  in
+  Arg.(value & opt scheme_conv Scenario.S_clove_ecn & info [ "scheme"; "s" ] ~doc)
+
+let load_arg =
+  let doc = "Offered load as a fraction of the bisection bandwidth." in
+  Arg.(value & opt float 0.5 & info [ "load"; "l" ] ~doc)
+
+let jobs_arg =
+  let doc = "Jobs per persistent connection." in
+  Arg.(value & opt int 150 & info [ "jobs"; "j" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let asym_arg =
+  let doc = "Fail one spine-leaf link (the paper's asymmetric topology)." in
+  Arg.(value & flag & info [ "asymmetric"; "a" ] ~doc)
+
+let hosts_arg =
+  let doc = "Hosts per leaf (paper: 16; scaled default: 8)." in
+  Arg.(value & opt int 8 & info [ "hosts" ] ~doc)
+
+let quick_arg =
+  let doc = "Quick mode: fewer jobs and a single seed per point." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let full_arg =
+  let doc = "Full mode: more jobs and three seeds per point (slow)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let run_cmd =
+  let run scheme load jobs seed asym hosts =
+    let params =
+      {
+        Scenario.default_params with
+        Scenario.asymmetric = asym;
+        seed;
+        hosts_per_leaf = hosts;
+        fabric_rate_bps = float_of_int hosts *. 10e9 /. 4.0;
+      }
+    in
+    let fct = Sweep.websearch_run ~scheme ~params ~load ~jobs_per_conn:jobs in
+    let mice = Workload.Fct_stats.mice_cutoff / 4 in
+    Format.printf "scheme          : %s@." (Scenario.scheme_name scheme);
+    Format.printf "topology        : %s, %d hosts/leaf@."
+      (if asym then "asymmetric" else "symmetric")
+      hosts;
+    Format.printf "load            : %.0f%%@." (100.0 *. load);
+    Format.printf "flows completed : %d@." (Workload.Fct_stats.count fct);
+    Format.printf "avg FCT         : %.4f s@." (Workload.Fct_stats.avg fct);
+    Format.printf "avg FCT (mice)  : %.4f s@."
+      (Workload.Fct_stats.avg ~max_size:mice fct);
+    Format.printf "p99 FCT         : %.4f s@."
+      (Workload.Fct_stats.percentile fct 99.0)
+  in
+  let term =
+    Term.(const run $ scheme_arg $ load_arg $ jobs_arg $ seed_arg $ asym_arg $ hosts_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload point and print FCT statistics.") term
+
+let opts_of ~quick ~full =
+  if quick then Sweep.quick_opts
+  else if full then { Sweep.jobs_per_conn = 300; seeds = [ 1; 2; 3 ] }
+  else Sweep.default_opts
+
+let exp_cmd =
+  let run ids quick full =
+    let opts = opts_of ~quick ~full in
+    let known =
+      Figures.all ()
+      @ List.map (fun (id, f) -> (id, fun () -> f Sweep.quick_opts)) Extensions.all
+    in
+    let selected =
+      match ids with
+      | [] -> known
+      | ids ->
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id known with
+            | Some _ -> Some (id, List.assoc id known)
+            | None ->
+              Format.eprintf "unknown experiment %S (try: clove-sim list)@." id;
+              None)
+          ids
+    in
+    List.iter
+      (fun (id, _) ->
+        let report =
+          match id with
+          | "fig4b" -> Figures.fig4b ~opts ()
+          | "fig4c" -> Figures.fig4c ~opts ()
+          | "fig5a" -> Figures.fig5a ~opts ()
+          | "fig5b" -> Figures.fig5b ~opts ()
+          | "fig5c" -> Figures.fig5c ~opts ()
+          | "fig6" -> Figures.fig6 ~opts ()
+          | "fig7" -> Figures.fig7 ()
+          | "fig8a" -> Figures.fig8a ~opts ()
+          | "fig8b" -> Figures.fig8b ~opts ()
+          | "fig9" -> Figures.fig9 ~opts ()
+          | "ablation-relay" -> Figures.ablation_relay ~opts ()
+          | "ablation-paths" -> Figures.ablation_paths ~opts ()
+          | "ablation-beta" -> Figures.ablation_beta ~opts ()
+          | id -> (List.assoc id Extensions.all) opts
+        in
+        Format.printf "%a@." Figures.pp_report report)
+      selected
+  in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids.")
+  in
+  let term = Term.(const run $ ids $ quick_arg $ full_arg) in
+  Cmd.v
+    (Cmd.info "exp"
+       ~doc:"Regenerate one or more paper figures (all of them by default).")
+    term
+
+let list_cmd =
+  let run () =
+    List.iter (fun (id, _) -> print_endline id) (Figures.all ());
+    List.iter (fun (id, _) -> print_endline id) Extensions.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ const ())
+
+let () =
+  let doc = "Clove (CoNEXT'17) reproduction: congestion-aware edge load balancing." in
+  let info = Cmd.info "clove-sim" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/fabric_monitor.ml: Array Experiments Fabric Format Link List Rng Scenario Sim_time Telemetry Topology Workload

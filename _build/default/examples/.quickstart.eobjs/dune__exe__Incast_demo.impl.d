@@ -1,0 +1,1 @@
+examples/incast_demo.ml: Experiments Format List Scenario Stats Sweep

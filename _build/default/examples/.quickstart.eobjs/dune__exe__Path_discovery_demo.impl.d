@@ -1,0 +1,1 @@
+examples/path_discovery_demo.ml: Array Clove Experiments Fabric Format Host Link List Scenario Scheduler Sim_time Switch Topology

@@ -1,0 +1,1 @@
+examples/path_discovery_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Array Clove Experiments Format Host Printf Rng Scenario String Workload

@@ -1,0 +1,1 @@
+examples/websearch_asymmetric.ml: Experiments Format List Scenario Stats Sweep Workload

@@ -1,0 +1,63 @@
+(* Watch what a load balancer does to the fabric: sample every fabric
+   link's utilization and queue occupancy during an asymmetric web-search
+   run, under ECMP and under Clove-ECN, and print the per-link summary.
+
+   The point of the comparison: under ECMP the single surviving S2-L2 link
+   saturates (high utilization, deep queues, drops) while the S1 links
+   idle; Clove-ECN's weight adaptation evens them out.
+
+   Run with: dune exec examples/fabric_monitor.exe *)
+
+open Experiments
+
+let fabric_links scn =
+  let fabric = Scenario.fabric scn in
+  let topo = Fabric.topology fabric in
+  Topology.edges topo
+  |> List.filter (fun (e : Topology.edge) ->
+         (not (Topology.is_host topo e.Topology.a))
+         && (not (Topology.is_host topo e.Topology.b))
+         && not e.Topology.failed)
+  |> List.concat_map (fun e ->
+         let l_ab, l_ba = Fabric.links_of_edge fabric e in
+         [ (Link.label l_ab, l_ab); (Link.label l_ba, l_ba) ])
+
+let run scheme =
+  let params =
+    { Scenario.default_params with Scenario.asymmetric = true; seed = 3 }
+  in
+  let scn = Scenario.build ~scheme params in
+  let telemetry =
+    Telemetry.watch ~sched:(Scenario.sched scn) ~period:(Sim_time.ms 1)
+      ~links:(fabric_links scn)
+  in
+  let rng = Scenario.rng scn in
+  let servers = Scenario.servers scn in
+  let conns =
+    Array.map
+      (fun client -> Scenario.connect scn ~src:client ~dst:(Rng.pick rng servers))
+      (Scenario.clients scn)
+  in
+  let cfg =
+    {
+      Workload.Websearch.load = 0.6;
+      bisection_bps = Scenario.bisection_bps scn;
+      jobs_per_conn = 80;
+      size_dist = Scenario.size_dist scn;
+      start_at = Scenario.warmup scn;
+    }
+  in
+  let fct = Workload.Websearch.run ~sched:(Scenario.sched scn) ~rng ~conns cfg in
+  Telemetry.stop telemetry;
+  Scenario.quiesce scn;
+  Format.printf "@.%s  (avg FCT %.2f ms)@."
+    (Scenario.scheme_name scheme)
+    (1e3 *. Workload.Fct_stats.avg fct);
+  Format.printf "%a" Telemetry.pp_summary telemetry
+
+let () =
+  Format.printf
+    "Fabric telemetry at 60%% load with one S2-L2 link failed (leaf-to-spine@.";
+  Format.printf "direction shown; n0/n1 are leaves, n2/n3 are spines):@.";
+  run Scenario.S_ecmp;
+  run Scenario.S_clove_ecn

@@ -1,0 +1,64 @@
+(* Path discovery demo (Section 3.1): watch the traceroute daemon map
+   encapsulation source ports to physical paths, pick disjoint ones, and
+   re-discover after a link failure changes the ECMP structure.
+
+   Run with: dune exec examples/path_discovery_demo.exe *)
+
+open Experiments
+
+let print_paths label v dst =
+  match Clove.Vswitch.path_table v dst with
+  | None -> Format.printf "%s: no paths discovered yet@." label
+  | Some tbl ->
+    Format.printf "%s:@." label;
+    let ports = Clove.Path_table.ports tbl and paths = Clove.Path_table.paths tbl in
+    Array.iteri
+      (fun i port ->
+        Format.printf "  source port %5d -> %a@." port Clove.Clove_path.pp paths.(i))
+      ports
+
+let () =
+  let params = { Scenario.default_params with Scenario.seed = 11 } in
+  let scn = Scenario.build ~scheme:Scenario.S_clove_ecn params in
+  let sched = Scenario.sched scn in
+  let client = (Scenario.clients scn).(0) in
+  let server = (Scenario.servers scn).(0) in
+  let v = Scenario.vswitch scn client in
+  Clove.Vswitch.add_destination v (Host.addr server);
+
+  (* let one discovery cycle complete *)
+  Scheduler.run ~until:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 15))) (Scenario.sched scn);
+  print_paths "after first discovery cycle (4 disjoint paths expected)" v
+    (Host.addr server);
+
+  (* fail one spine-leaf link: ECMP next-hop sets change, ports remap *)
+  let topo = Fabric.topology (Scenario.fabric scn) in
+  let ls_leaf = Host.id server in
+  ignore ls_leaf;
+  let stats_before = Clove.Vswitch.stats v in
+  (match
+     Topology.find_edge topo
+       ~a:(match Topology.live_neighbors topo (Host.id server) with
+           | leaf :: _ -> leaf
+           | [] -> assert false)
+       ~b:(Array.to_list (Fabric.switches (Scenario.fabric scn))
+           |> List.find (fun sw -> Switch.level sw = Switch.Spine)
+           |> Switch.id)
+       ~bundle_index:0
+   with
+  | Some e ->
+    Format.printf "@.failing fabric link %s...@."
+      (Link.label (fst (Fabric.links_of_edge (Scenario.fabric scn) e)));
+    Fabric.fail_edge (Scenario.fabric scn) e
+  | None -> Format.printf "no edge found to fail@.");
+
+  (* run until the next probe cycle (500 ms period) completes *)
+  Scheduler.run
+    ~until:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 530)))
+    sched;
+  print_paths "after rediscovery (3 distinct paths expected)" v (Host.addr server);
+  let stats_after = Clove.Vswitch.stats v in
+  ignore stats_before;
+  Format.printf "@.probes answered by this host so far: %d@."
+    stats_after.Clove.Vswitch.probes_answered;
+  Scenario.quiesce scn

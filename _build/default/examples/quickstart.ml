@@ -1,0 +1,64 @@
+(* Quickstart: build the paper's 2-leaf/2-spine fabric, run a small
+   web-search workload under Clove-ECN, and print what the load balancer
+   did: discovered paths, adapted weights, flowlets, and the resulting flow
+   completion times.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Experiments
+
+let () =
+  let params = { Scenario.default_params with seed = 7; asymmetric = false } in
+  let scn = Scenario.build ~scheme:Scenario.S_clove_ecn params in
+  let sched = Scenario.sched scn in
+
+  (* one persistent connection from every client to a random server *)
+  let rng = Scenario.rng scn in
+  let servers = Scenario.servers scn in
+  let conns =
+    Array.map
+      (fun client ->
+        let server = Rng.pick rng servers in
+        Scenario.connect scn ~src:client ~dst:server)
+      (Scenario.clients scn)
+  in
+
+  let cfg =
+    {
+      Workload.Websearch.load = 0.5;
+      bisection_bps = Scenario.bisection_bps scn;
+      jobs_per_conn = 20;
+      size_dist = Scenario.size_dist scn;
+      start_at = Scenario.warmup scn;
+    }
+  in
+  let fct = Workload.Websearch.run ~sched ~rng ~conns cfg in
+
+  Format.printf "Clove quickstart: %d flows at 50%% load (symmetric fabric)@."
+    (Workload.Fct_stats.count fct);
+  Format.printf "  mean FCT : %.3f ms@." (1e3 *. Workload.Fct_stats.avg fct);
+  Format.printf "  p99 FCT  : %.3f ms@."
+    (1e3 *. Workload.Fct_stats.percentile fct 99.0);
+  Format.printf "  fabric drops: %d, ECN marks: %d@." (Scenario.total_drops scn)
+    (Scenario.total_marks scn);
+
+  (* inspect what Clove learned on the first client *)
+  let client = (Scenario.clients scn).(0) in
+  let v = Scenario.vswitch scn client in
+  let stats = Clove.Vswitch.stats v in
+  Format.printf "  client vswitch: %d flowlets, %d feedback msgs seen@."
+    stats.Clove.Vswitch.flowlets stats.Clove.Vswitch.congestion_feedback_seen;
+  Array.iter
+    (fun server ->
+      match Clove.Vswitch.path_table v (Host.addr server) with
+      | None -> ()
+      | Some tbl ->
+        let ports = Clove.Path_table.ports tbl in
+        let weights = Clove.Path_table.weights tbl in
+        Format.printf "  paths to %a: ports=[%s] weights=[%s]@." Addr.pp
+          (Host.addr server)
+          (String.concat ";" (Array.to_list (Array.map string_of_int ports)))
+          (String.concat ";"
+             (Array.to_list (Array.map (Printf.sprintf "%.2f") weights))))
+    servers;
+  Scenario.quiesce scn

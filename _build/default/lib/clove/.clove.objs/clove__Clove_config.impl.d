@@ -1,0 +1,1 @@
+lib/clove/clove_config.ml: Sim_time

@@ -1,0 +1,1 @@
+lib/clove/clove_config.mli: Sim_time

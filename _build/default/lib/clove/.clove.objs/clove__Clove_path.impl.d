@@ -1,0 +1,1 @@
+lib/clove/clove_path.ml: Format Hashtbl List Packet

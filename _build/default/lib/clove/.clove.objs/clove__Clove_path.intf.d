@@ -1,0 +1,1 @@
+lib/clove/clove_path.mli: Format Packet

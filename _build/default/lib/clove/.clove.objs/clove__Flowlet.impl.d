@@ -1,0 +1,1 @@
+lib/clove/flowlet.ml: Hashtbl List Scheduler Sim_time

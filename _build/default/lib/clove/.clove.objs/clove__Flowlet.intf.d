@@ -1,0 +1,1 @@
+lib/clove/flowlet.mli: Scheduler Sim_time

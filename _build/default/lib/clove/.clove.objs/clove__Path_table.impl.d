@@ -1,0 +1,1 @@
+lib/clove/path_table.ml: Array Clove_config Clove_path Float Hashtbl List Rng Scheduler Sim_time Wrr

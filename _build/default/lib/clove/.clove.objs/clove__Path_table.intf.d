@@ -1,0 +1,1 @@
+lib/clove/path_table.mli: Clove_config Clove_path Rng Scheduler Sim_time

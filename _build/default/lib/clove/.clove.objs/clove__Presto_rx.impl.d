@@ -1,0 +1,1 @@
+lib/clove/presto_rx.ml: Clove_config Hashtbl List Packet Scheduler

@@ -1,0 +1,1 @@
+lib/clove/presto_rx.mli: Clove_config Packet Scheduler

@@ -1,0 +1,1 @@
+lib/clove/traceroute.ml: Addr Clove_config Clove_path Hashtbl List Packet Rng Scheduler

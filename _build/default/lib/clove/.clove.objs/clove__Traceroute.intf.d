@@ -1,0 +1,1 @@
+lib/clove/traceroute.mli: Addr Clove_config Clove_path Packet Rng Scheduler

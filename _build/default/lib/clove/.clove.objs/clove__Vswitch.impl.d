@@ -1,0 +1,1 @@
+lib/clove/vswitch.ml: Addr Array Clove_config Clove_path Ecmp_hash Flowlet Hashtbl Host List Packet Path_table Presto_rx Queue Rng Scheduler Sim_time Traceroute Transport Wrr

@@ -1,0 +1,1 @@
+lib/clove/vswitch.mli: Addr Clove_config Clove_path Host Packet Path_table Rng Sim_time Transport

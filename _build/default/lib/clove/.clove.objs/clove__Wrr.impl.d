@@ -1,0 +1,1 @@
+lib/clove/wrr.ml: Array Float

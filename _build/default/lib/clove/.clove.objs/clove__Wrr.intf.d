@@ -1,0 +1,1 @@
+lib/clove/wrr.mli:

@@ -1,0 +1,49 @@
+type t = {
+  rtt_estimate : Sim_time.span;
+  flowlet_gap : Sim_time.span;
+  k_paths : int;
+  weight_cut : float;
+  min_weight : float;
+  ecn_relay_interval : Sim_time.span;
+  congested_window : Sim_time.span;
+  weight_aging : float;
+  probe_interval : Sim_time.span;
+  probe_ports : int;
+  max_ttl : int;
+  probe_timeout : Sim_time.span;
+  feedback_deadline : Sim_time.span;
+  presto_cell_bytes : int;
+  presto_reorder_timeout : Sim_time.span;
+  presto_buffer_limit : int;
+  rewrite_mode : bool;
+  clove_reorder : bool;
+  adaptive_flowlet_gap : bool;
+  expose_ecn_to_guest : bool;
+}
+
+let with_rtt rtt =
+  let ns = Sim_time.span_ns rtt in
+  {
+    rtt_estimate = rtt;
+    flowlet_gap = rtt;
+    k_paths = 8;
+    weight_cut = 1.0 /. 3.0;
+    min_weight = 0.02;
+    ecn_relay_interval = Sim_time.span_of_ns (ns / 2);
+    congested_window = Sim_time.span_of_ns (4 * ns);
+    weight_aging = 0.0;
+    probe_interval = Sim_time.ms 500;
+    probe_ports = 32;
+    max_ttl = 8;
+    probe_timeout = Sim_time.ms 10;
+    feedback_deadline = Sim_time.span_of_ns (2 * ns);
+    presto_cell_bytes = 64 * 1024;
+    presto_reorder_timeout = Sim_time.span_of_ns (10 * ns);
+    presto_buffer_limit = 512;
+    rewrite_mode = false;
+    clove_reorder = false;
+    adaptive_flowlet_gap = false;
+    expose_ecn_to_guest = false;
+  }
+
+let default = with_rtt (Sim_time.us 60)

@@ -1,0 +1,46 @@
+type 'd entry = { mutable last_seen : Sim_time.t; mutable flowlet_id : int; mutable decision : 'd }
+
+type 'd t = {
+  sched : Scheduler.t;
+  mutable gap : Sim_time.span;
+  table : (int, 'd entry) Hashtbl.t;
+  mutable started : int;
+}
+
+let create ~sched ~gap = { sched; gap; table = Hashtbl.create 256; started = 0 }
+
+let touch t ~key ~pick =
+  let now = Scheduler.now t.sched in
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    let decision = pick ~flowlet_id:0 in
+    Hashtbl.replace t.table key { last_seen = now; flowlet_id = 0; decision };
+    t.started <- t.started + 1;
+    decision
+  | Some e ->
+    if Sim_time.(now >= add e.last_seen t.gap) then begin
+      e.flowlet_id <- e.flowlet_id + 1;
+      e.decision <- pick ~flowlet_id:e.flowlet_id;
+      t.started <- t.started + 1
+    end;
+    e.last_seen <- now;
+    e.decision
+
+let active_flowlet t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> Some e.decision
+  | None -> None
+
+let flowlets_started t = t.started
+let flows_tracked t = Hashtbl.length t.table
+let set_gap t gap = t.gap <- gap
+let gap t = t.gap
+
+let expire_older_than t age =
+  let now = Scheduler.now t.sched in
+  let stale =
+    Hashtbl.fold
+      (fun key e acc -> if Sim_time.(now >= add e.last_seen age) then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale

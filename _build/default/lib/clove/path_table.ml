@@ -1,0 +1,185 @@
+type t = {
+  sched : Scheduler.t;
+  cfg : Clove_config.t;
+  mutable ports : int array;
+  mutable paths : Clove_path.t array;
+  mutable wrr : Wrr.t option;
+  mutable utils : float array;
+  mutable delays : float array; (* one-way delay, seconds; 0 = unmeasured *)
+  mutable last_congested : Sim_time.t array;
+  mutable ever_congested : bool array;
+  mutable port_index : (int, int) Hashtbl.t;
+}
+
+let create ~sched ~cfg =
+  {
+    sched;
+    cfg;
+    ports = [||];
+    paths = [||];
+    wrr = None;
+    utils = [||];
+    delays = [||];
+    last_congested = [||];
+    ever_congested = [||];
+    port_index = Hashtbl.create 8;
+  }
+
+let install t pairs =
+  if pairs <> [] then begin
+    (* remember state of known paths by signature *)
+    let old_state = Hashtbl.create 8 in
+    Array.iteri
+      (fun i path ->
+        let w = match t.wrr with Some w -> Wrr.weight w i | None -> 1.0 in
+        Hashtbl.replace old_state (Clove_path.signature path)
+          (w, t.utils.(i), t.delays.(i), t.last_congested.(i), t.ever_congested.(i)))
+      t.paths;
+    let n = List.length pairs in
+    let ports = Array.make n 0
+    and paths = Array.make n []
+    and weights = Array.make n 1.0
+    and utils = Array.make n 0.0
+    and delays = Array.make n 0.0
+    and congested = Array.make n Sim_time.zero
+    and ever = Array.make n false in
+    List.iteri
+      (fun i (port, path) ->
+        ports.(i) <- port;
+        paths.(i) <- path;
+        match Hashtbl.find_opt old_state (Clove_path.signature path) with
+        | Some (w, u, d, c, e) ->
+          weights.(i) <- w;
+          utils.(i) <- u;
+          delays.(i) <- d;
+          congested.(i) <- c;
+          ever.(i) <- e
+        | None -> ())
+      pairs;
+    (* normalize weights to sum 1 *)
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if total > 0.0 then Array.iteri (fun i w -> weights.(i) <- w /. total) weights;
+    t.ports <- ports;
+    t.paths <- paths;
+    t.wrr <- Some (Wrr.create ~weights);
+    t.utils <- utils;
+    t.delays <- delays;
+    t.last_congested <- congested;
+    t.ever_congested <- ever;
+    let idx = Hashtbl.create n in
+    Array.iteri (fun i p -> Hashtbl.replace idx p i) ports;
+    t.port_index <- idx
+  end
+
+let ready t = Array.length t.ports > 0
+let ports t = Array.copy t.ports
+let paths t = Array.copy t.paths
+let port_count t = Array.length t.ports
+
+let require_ready t fn =
+  if not (ready t) then invalid_arg (fn ^ ": no paths installed")
+
+let pick_wrr t =
+  require_ready t "Path_table.pick_wrr";
+  match t.wrr with
+  | Some w -> t.ports.(Wrr.pick w)
+  | None -> assert false
+
+let pick_random t rng =
+  require_ready t "Path_table.pick_random";
+  t.ports.(Rng.int rng (Array.length t.ports))
+
+let pick_least_utilized t =
+  require_ready t "Path_table.pick_least_utilized";
+  let best = ref 0 in
+  for i = 1 to Array.length t.utils - 1 do
+    if t.utils.(i) < t.utils.(!best) then best := i
+  done;
+  t.ports.(!best)
+
+let is_congested t i =
+  let now = Scheduler.now t.sched in
+  t.ever_congested.(i)
+  && Sim_time.(now < add t.last_congested.(i) t.cfg.Clove_config.congested_window)
+
+let note_congested t ~port =
+  match Hashtbl.find_opt t.port_index port with
+  | None -> ()
+  | Some i -> (
+    match t.wrr with
+    | None -> ()
+    | Some w ->
+      t.last_congested.(i) <- Scheduler.now t.sched;
+      t.ever_congested.(i) <- true;
+      let n = Array.length t.ports in
+      let wi = Wrr.weight w i in
+      let cut = wi *. t.cfg.Clove_config.weight_cut in
+      let remaining = Float.max t.cfg.Clove_config.min_weight (wi -. cut) in
+      let cut = wi -. remaining in
+      (* spread the removed weight equally across uncongested paths; if all
+         others are congested too, spread over everyone else *)
+      let uncongested = ref [] in
+      for j = 0 to n - 1 do
+        if j <> i && not (is_congested t j) then uncongested := j :: !uncongested
+      done;
+      let targets =
+        if !uncongested <> [] then !uncongested
+        else List.init n (fun j -> j) |> List.filter (fun j -> j <> i)
+      in
+      (match targets with
+      | [] -> () (* single path: nothing to shift to *)
+      | _ ->
+        Wrr.set_weight w i remaining;
+        let share = cut /. float_of_int (List.length targets) in
+        List.iter (fun j -> Wrr.set_weight w j (Wrr.weight w j +. share)) targets);
+      Wrr.normalize w)
+
+let note_util t ~port ~util =
+  match Hashtbl.find_opt t.port_index port with
+  | None -> ()
+  | Some i -> t.utils.(i) <- util
+
+let note_latency t ~port ~delay =
+  match Hashtbl.find_opt t.port_index port with
+  | None -> ()
+  | Some i -> t.delays.(i) <- Sim_time.span_to_sec delay
+
+let pick_min_latency t =
+  require_ready t "Path_table.pick_min_latency";
+  let best = ref 0 in
+  for i = 1 to Array.length t.delays - 1 do
+    if t.delays.(i) < t.delays.(!best) then best := i
+  done;
+  t.ports.(!best)
+
+let latency_spread t =
+  if not (ready t) then Sim_time.zero_span
+  else begin
+    let lo = Array.fold_left Float.min infinity t.delays in
+    let hi = Array.fold_left Float.max 0.0 t.delays in
+    Sim_time.span_of_sec (Float.max 0.0 (hi -. lo))
+  end
+
+let weights t = match t.wrr with Some w -> Wrr.weights w | None -> [||]
+let utilization t = Array.copy t.utils
+let latencies t = Array.map Sim_time.span_of_sec t.delays
+
+let all_congested t =
+  ready t
+  &&
+  let n = Array.length t.ports in
+  let rec go i = i >= n || (is_congested t i && go (i + 1)) in
+  go 0
+
+let age_weights t =
+  let a = t.cfg.Clove_config.weight_aging in
+  if a > 0.0 then
+    match t.wrr with
+    | None -> ()
+    | Some w ->
+      let n = Array.length t.ports in
+      let uniform = 1.0 /. float_of_int n in
+      for i = 0 to n - 1 do
+        Wrr.set_weight w i (((1.0 -. a) *. Wrr.weight w i) +. (a *. uniform))
+      done;
+      Wrr.normalize w

@@ -1,0 +1,63 @@
+(** Per-destination path weight table (the "path weight table" of Fig. 2).
+
+    Holds the source ports that map to distinct paths toward one remote
+    hypervisor, the WRR weights adapted from ECN feedback (Clove-ECN), the
+    last reported utilization per path (Clove-INT), and the recent-
+    congestion timestamps used for the "all paths congested" escalation.
+
+    Path state survives topology-driven rediscovery: on [install], state is
+    carried over by path signature even when the port that maps to a path
+    has changed (the optimization described at the end of Section 3.1). *)
+
+type t
+
+val create : sched:Scheduler.t -> cfg:Clove_config.t -> t
+
+val install : t -> (int * Clove_path.t) list -> unit
+(** Replace the port set with freshly discovered (port, path) pairs,
+    preserving weights/utilization of paths already known. *)
+
+val ready : t -> bool
+(** At least one path installed. *)
+
+val ports : t -> int array
+val paths : t -> Clove_path.t array
+val port_count : t -> int
+
+val pick_wrr : t -> int
+(** Next source port by weighted round-robin (Clove-ECN). *)
+
+val pick_random : t -> Rng.t -> int
+(** Uniform port choice (Edge-Flowlet when restricted to known ports). *)
+
+val pick_least_utilized : t -> int
+(** Port with the smallest reported utilization (Clove-INT); ties break to
+    the lower index. *)
+
+val note_congested : t -> port:int -> unit
+(** ECN feedback for [port]: cut its weight by the configured fraction and
+    spread the remainder over paths not currently congested; ports not in
+    the table are ignored (stale feedback after rediscovery). *)
+
+val note_util : t -> port:int -> util:float -> unit
+
+val note_latency : t -> port:int -> delay:Sim_time.span -> unit
+(** One-way delay feedback (Clove-Latency, Section 7). *)
+
+val pick_min_latency : t -> int
+(** Port with the smallest reported one-way delay; unmeasured paths count
+    as zero delay so fresh paths get probed by traffic. *)
+
+val latency_spread : t -> Sim_time.span
+(** Max minus min reported delay across paths — drives the adaptive
+    flowlet gap. *)
+
+val weights : t -> float array
+val utilization : t -> float array
+val latencies : t -> Sim_time.span array
+
+val all_congested : t -> bool
+(** Every path saw congestion feedback within the configured window. *)
+
+val age_weights : t -> unit
+(** Drift weights toward uniform by the configured aging factor. *)

@@ -1,0 +1,101 @@
+type flow_state = {
+  mutable expected : int; (* next cell_seq to deliver *)
+  buffer : (int, Packet.inner) Hashtbl.t;
+  mutable timer : Scheduler.handle option;
+}
+
+type t = {
+  sched : Scheduler.t;
+  cfg : Clove_config.t;
+  deliver : Packet.inner -> unit;
+  flows : (int, flow_state) Hashtbl.t;
+  mutable buffered : int;
+  mutable flushes : int;
+  mutable reordered : int;
+}
+
+let create ~sched ~cfg ~deliver =
+  { sched; cfg; deliver; flows = Hashtbl.create 64; buffered = 0; flushes = 0; reordered = 0 }
+
+let buffered t = t.buffered
+let timeout_flushes t = t.flushes
+let reordered t = t.reordered
+
+let flow t key =
+  match Hashtbl.find_opt t.flows key with
+  | Some f -> f
+  | None ->
+    let f = { expected = 0; buffer = Hashtbl.create 16; timer = None } in
+    Hashtbl.replace t.flows key f;
+    f
+
+let cancel_timer f =
+  match f.timer with
+  | Some h ->
+    Scheduler.cancel h;
+    f.timer <- None
+  | None -> ()
+
+let drain t f =
+  (* deliver buffered packets contiguous with [expected] *)
+  let rec go () =
+    match Hashtbl.find_opt f.buffer f.expected with
+    | Some inner ->
+      Hashtbl.remove f.buffer f.expected;
+      t.buffered <- t.buffered - 1;
+      f.expected <- f.expected + 1;
+      t.deliver inner;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let flush_all t f =
+  (* timeout or overflow: release everything in order, skipping holes *)
+  let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) f.buffer [] |> List.sort compare in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt f.buffer s with
+      | Some inner ->
+        Hashtbl.remove f.buffer s;
+        t.buffered <- t.buffered - 1;
+        f.expected <- max f.expected (s + 1);
+        t.deliver inner
+      | None -> ())
+    seqs;
+  cancel_timer f
+
+let arm_timer t f =
+  if f.timer = None then
+    f.timer <-
+      Some
+        (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.presto_reorder_timeout
+           (fun () ->
+             f.timer <- None;
+             if Hashtbl.length f.buffer > 0 then begin
+               t.flushes <- t.flushes + 1;
+               flush_all t f
+             end))
+
+let on_packet t inner ~cell =
+  let f = flow t cell.Packet.flow_key in
+  let seq = cell.Packet.cell_seq in
+  if seq < f.expected then t.deliver inner (* late duplicate/retransmit *)
+  else if seq = f.expected then begin
+    f.expected <- f.expected + 1;
+    t.deliver inner;
+    drain t f;
+    if Hashtbl.length f.buffer = 0 then cancel_timer f
+  end
+  else begin
+    t.reordered <- t.reordered + 1;
+    if not (Hashtbl.mem f.buffer seq) then begin
+      Hashtbl.replace f.buffer seq inner;
+      t.buffered <- t.buffered + 1
+    end;
+    if Hashtbl.length f.buffer > t.cfg.Clove_config.presto_buffer_limit then begin
+      t.flushes <- t.flushes + 1;
+      flush_all t f
+    end
+    else arm_timer t f
+  end

@@ -1,0 +1,165 @@
+type port_state = {
+  hops : (int, Packet.hop) Hashtbl.t; (* ttl -> hop *)
+  mutable reached_ttl : int; (* smallest ttl whose probe reached the host; -1 = none *)
+}
+
+type dst_state = {
+  dst : Addr.t;
+  pending : (int, int * int) Hashtbl.t; (* probe_id -> (port, ttl) *)
+  mutable port_states : (int, port_state) Hashtbl.t;
+  mutable installed_ports : int list;
+}
+
+type t = {
+  sched : Scheduler.t;
+  cfg : Clove_config.t;
+  rng : Rng.t;
+  host_addr : Addr.t;
+  tx : Packet.t -> unit;
+  on_paths : dst:Addr.t -> (int * Clove_path.t) list -> unit;
+  dsts : (int, dst_state) Hashtbl.t;
+  mutable probe_id : int;
+  mutable probes_sent : int;
+  mutable cycles : int;
+  mutable stopped : bool;
+}
+
+let create ~sched ~cfg ~rng ~host_addr ~tx ~on_paths =
+  {
+    sched;
+    cfg;
+    rng;
+    host_addr;
+    tx;
+    on_paths;
+    dsts = Hashtbl.create 16;
+    probe_id = 0;
+    probes_sent = 0;
+    cycles = 0;
+    stopped = false;
+  }
+
+let probes_sent t = t.probes_sent
+let cycles_completed t = t.cycles
+let stop t = t.stopped <- true
+
+let random_port t = 49152 + Rng.int t.rng 16384
+
+let send_probe t st ~port ~ttl =
+  t.probe_id <- t.probe_id + 1;
+  let id = t.probe_id in
+  Hashtbl.replace st.pending id (port, ttl);
+  let pkt =
+    Packet.make ~ttl ~size:(64 + Packet.encap_header_bytes)
+      (Packet.Probe
+         {
+           Packet.probe_id = id;
+           probe_src = t.host_addr;
+           probe_dst = st.dst;
+           probe_port = port;
+         })
+  in
+  pkt.Packet.encap <-
+    Some
+      {
+        Packet.src_hv = t.host_addr;
+        dst_hv = st.dst;
+        src_port = port;
+        dst_port = Packet.stt_port;
+        feedback = None;
+        cell = None;
+      };
+  t.probes_sent <- t.probes_sent + 1;
+  t.tx pkt
+
+let finalize_cycle t st =
+  let candidates =
+    Hashtbl.fold
+      (fun port ps acc ->
+        if ps.reached_ttl >= 1 then begin
+          let rec collect ttl acc_hops =
+            if ttl >= ps.reached_ttl then Some (List.rev acc_hops)
+            else
+              match Hashtbl.find_opt ps.hops ttl with
+              | Some hop -> collect (ttl + 1) (hop :: acc_hops)
+              | None -> None (* lost reply: discard this port for the cycle *)
+          in
+          match collect 1 [] with
+          | Some path -> (port, path) :: acc
+          | None -> acc
+        end
+        else acc)
+      st.port_states []
+  in
+  let picked = Clove_path.select_disjoint ~k:t.cfg.Clove_config.k_paths candidates in
+  t.cycles <- t.cycles + 1;
+  if picked <> [] then begin
+    st.installed_ports <- List.map fst picked;
+    t.on_paths ~dst:st.dst picked
+  end
+
+let rec start_cycle t st =
+  if not t.stopped then begin
+    Hashtbl.reset st.pending;
+    st.port_states <- Hashtbl.create 32;
+    (* trace currently installed ports plus fresh random ones *)
+    let fresh = List.init t.cfg.Clove_config.probe_ports (fun _ -> random_port t) in
+    let ports = List.sort_uniq compare (st.installed_ports @ fresh) in
+    List.iter
+      (fun port ->
+        Hashtbl.replace st.port_states port { hops = Hashtbl.create 8; reached_ttl = -1 };
+        for ttl = 1 to t.cfg.Clove_config.max_ttl do
+          send_probe t st ~port ~ttl
+        done)
+      ports;
+    ignore
+      (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_timeout (fun () ->
+           if not t.stopped then finalize_cycle t st));
+    ignore
+      (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_interval (fun () ->
+           start_cycle t st))
+  end
+
+let add_destination t dst =
+  let key = Addr.to_int dst in
+  if not (Hashtbl.mem t.dsts key) then begin
+    let st =
+      { dst; pending = Hashtbl.create 64; port_states = Hashtbl.create 32; installed_ports = [] }
+    in
+    Hashtbl.replace t.dsts key st;
+    start_cycle t st
+  end
+
+let on_reply t (reply : Packet.probe_reply) =
+  (* find which destination's cycle this probe belongs to *)
+  let exception Found of dst_state * int * int in
+  try
+    Hashtbl.iter
+      (fun _ st ->
+        match Hashtbl.find_opt st.pending reply.Packet.reply_probe_id with
+        | Some (port, ttl) -> raise (Found (st, port, ttl))
+        | None -> ())
+      t.dsts
+  with Found (st, port, ttl) -> (
+    Hashtbl.remove st.pending reply.Packet.reply_probe_id;
+    match Hashtbl.find_opt st.port_states port with
+    | None -> ()
+    | Some ps -> (
+      match reply.Packet.reply_hop with
+      | Some hop -> Hashtbl.replace ps.hops ttl hop
+      | None ->
+        if ps.reached_ttl < 0 || ttl < ps.reached_ttl then ps.reached_ttl <- ttl))
+
+let answer_probe ~host_addr ~remaining_ttl (p : Packet.probe_info) =
+  Packet.make ~size:64
+    (Packet.Probe_reply
+       {
+         Packet.reply_to = p.Packet.probe_src;
+         reply_probe_id = p.Packet.probe_id;
+         reply_port = p.Packet.probe_port;
+         reply_ttl = remaining_ttl;
+         reply_hop = None;
+       })
+  |> fun pkt ->
+  ignore host_addr;
+  pkt

@@ -1,0 +1,488 @@
+type scheme =
+  | Ecmp
+  | Edge_flowlet
+  | Clove_ecn
+  | Clove_int
+  | Clove_latency
+  | Presto
+  | Direct
+
+let scheme_name = function
+  | Ecmp -> "ecmp"
+  | Edge_flowlet -> "edge-flowlet"
+  | Clove_ecn -> "clove-ecn"
+  | Clove_int -> "clove-int"
+  | Clove_latency -> "clove-latency"
+  | Presto -> "presto"
+  | Direct -> "direct"
+
+let scheme_of_string = function
+  | "ecmp" -> Some Ecmp
+  | "edge-flowlet" -> Some Edge_flowlet
+  | "clove-ecn" -> Some Clove_ecn
+  | "clove-int" -> Some Clove_int
+  | "clove-latency" -> Some Clove_latency
+  | "presto" -> Some Presto
+  | "direct" -> Some Direct
+  | _ -> None
+
+let all_schemes =
+  [ Ecmp; Edge_flowlet; Clove_ecn; Clove_int; Clove_latency; Presto; Direct ]
+
+type stats = {
+  tx_tenant : int;
+  rx_tenant : int;
+  flowlets : int;
+  feedback_piggybacked : int;
+  feedback_carriers : int;
+  congestion_feedback_seen : int;
+  escalations : int;
+  probes_answered : int;
+}
+
+(* receiver-side relay state about one remote (sending) hypervisor *)
+type peer_rx_state = {
+  fb_queue : Packet.clove_feedback Queue.t;
+  last_relay : (int, Sim_time.t) Hashtbl.t; (* port -> last relay time *)
+  mutable fb_timer : Scheduler.handle option;
+}
+
+(* Presto per-flow spraying state *)
+type presto_flow = {
+  mutable cell_bytes : int;
+  mutable cell_id : int;
+  mutable pkt_seq : int;
+  mutable cur_port : int;
+  p_wrr : Wrr.t;
+  p_ports : int array;
+}
+
+type t = {
+  sched : Scheduler.t;
+  host : Host.t;
+  stack : Transport.Stack.t;
+  scheme : scheme;
+  cfg : Clove_config.t;
+  rng : Rng.t;
+  tables : (int, Path_table.t) Hashtbl.t; (* dst hv -> paths *)
+  flowlets : int Flowlet.t; (* decision = outer source port *)
+  presto_flows : (int, presto_flow) Hashtbl.t;
+  presto_weights : (int, float array) Hashtbl.t; (* dst hv -> weights (aligned to table ports) *)
+  mutable presto_weight_fn : Clove_path.t -> float;
+  presto_rx : Presto_rx.t;
+  reorder_seq : (int, int ref) Hashtbl.t; (* clove_reorder per-flow counter *)
+  peers : (int, peer_rx_state) Hashtbl.t;
+  mutable daemon : Traceroute.t option;
+  mutable s_tx : int;
+  mutable s_rx : int;
+  mutable s_piggy : int;
+  mutable s_carrier : int;
+  mutable s_fb_seen : int;
+  mutable s_escalations : int;
+  mutable s_probes_answered : int;
+}
+
+let needs_discovery = function
+  | Clove_ecn | Clove_int | Clove_latency | Presto -> true
+  | Ecmp | Edge_flowlet | Direct -> false
+
+(* non-overlay mode rewrites the 5-tuple and hides originals in TCP
+   options: 12 bytes instead of a full outer header *)
+let rewrite_overhead_bytes = 12
+
+let table t dst =
+  let key = Addr.to_int dst in
+  match Hashtbl.find_opt t.tables key with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Path_table.create ~sched:t.sched ~cfg:t.cfg in
+    Hashtbl.replace t.tables key tbl;
+    tbl
+
+let on_paths t ~dst pairs =
+  let tbl = table t dst in
+  Path_table.install tbl pairs;
+  if t.scheme = Presto then begin
+    let ws = Array.of_list (List.map (fun (_, path) -> t.presto_weight_fn path) pairs) in
+    Hashtbl.replace t.presto_weights (Addr.to_int dst) ws
+  end
+
+let add_destination t dst =
+  if needs_discovery t.scheme && not (Addr.equal dst (Host.addr t.host)) then begin
+    ignore (table t dst);
+    match t.daemon with
+    | Some d -> Traceroute.add_destination d dst
+    | None -> ()
+  end
+
+let peer_state t hv =
+  let key = Addr.to_int hv in
+  match Hashtbl.find_opt t.peers key with
+  | Some p -> p
+  | None ->
+    let p = { fb_queue = Queue.create (); last_relay = Hashtbl.create 8; fb_timer = None } in
+    Hashtbl.replace t.peers key p;
+    p
+
+let hashed_port key = 49152 + (Ecmp_hash.hash_tuple ~seed:0x5107 (key, 0, 0, 0) mod 16384)
+let random_port t = 49152 + Rng.int t.rng 16384
+
+(* --------------- feedback relay (receiver side) ------------------- *)
+
+let send_feedback_carrier t ~to_hv fb =
+  (* a "null probe": an encapsulated control packet whose only purpose is
+     to carry the context bits when no reverse traffic exists *)
+  let pkt =
+    Packet.make ~size:(64 + Packet.encap_header_bytes)
+      (Packet.Probe
+         {
+           Packet.probe_id = -1;
+           probe_src = Host.addr t.host;
+           probe_dst = to_hv;
+           probe_port = 0;
+         })
+  in
+  pkt.Packet.encap <-
+    Some
+      {
+        Packet.src_hv = Host.addr t.host;
+        dst_hv = to_hv;
+        src_port = random_port t;
+        dst_port = Packet.stt_port;
+        feedback = Some fb;
+        cell = None;
+      };
+  t.s_carrier <- t.s_carrier + 1;
+  Host.send t.host pkt
+
+let rec arm_fb_timer t ~hv peer =
+  if peer.fb_timer = None then
+    peer.fb_timer <-
+      Some
+        (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.feedback_deadline (fun () ->
+             peer.fb_timer <- None;
+             match Queue.take_opt peer.fb_queue with
+             | None -> ()
+             | Some fb ->
+               send_feedback_carrier t ~to_hv:hv fb;
+               if not (Queue.is_empty peer.fb_queue) then arm_fb_timer t ~hv peer))
+
+let enqueue_feedback t ~from_hv fb ~port =
+  let peer = peer_state t from_hv in
+  let now = Scheduler.now t.sched in
+  let allowed =
+    match Hashtbl.find_opt peer.last_relay port with
+    | None -> true
+    | Some last -> Sim_time.(now >= add last t.cfg.Clove_config.ecn_relay_interval)
+  in
+  if allowed then begin
+    Hashtbl.replace peer.last_relay port now;
+    Queue.add fb peer.fb_queue;
+    arm_fb_timer t ~hv:from_hv peer
+  end
+
+let pop_feedback t ~to_hv =
+  match Hashtbl.find_opt t.peers (Addr.to_int to_hv) with
+  | None -> None
+  | Some peer -> (
+    match Queue.take_opt peer.fb_queue with
+    | Some fb ->
+      if Queue.is_empty peer.fb_queue then (
+        match peer.fb_timer with
+        | Some h ->
+          Scheduler.cancel h;
+          peer.fb_timer <- None
+        | None -> ());
+      Some fb
+    | None -> None)
+
+(* --------------- feedback application (source side) --------------- *)
+
+let apply_feedback t ~peer_hv fb =
+  t.s_fb_seen <- t.s_fb_seen + 1;
+  let tbl = table t peer_hv in
+  (match fb with
+  | Packet.Fb_ecn { port; congested } ->
+    if congested then Path_table.note_congested tbl ~port
+  | Packet.Fb_util { port; util } -> Path_table.note_util tbl ~port ~util
+  | Packet.Fb_latency { port; delay } ->
+    Path_table.note_latency tbl ~port ~delay;
+    if t.cfg.Clove_config.adaptive_flowlet_gap then begin
+      (* Section 7: widen the flowlet gap to cover the measured inter-path
+         delay spread so flowlets stay in order across path switches *)
+      let spread = Path_table.latency_spread tbl in
+      let gap =
+        Sim_time.add_span t.cfg.Clove_config.rtt_estimate
+          (Sim_time.mul_span spread 2.0)
+      in
+      Flowlet.set_gap t.flowlets gap
+    end);
+  if Path_table.all_congested tbl then begin
+    t.s_escalations <- t.s_escalations + 1;
+    Transport.Stack.ecn_signal_all t.stack ~dst:peer_hv
+  end
+
+(* ----------------------- outbound dataplane ----------------------- *)
+
+let pick_port t ~flow_key ~dst =
+  match t.scheme with
+  | Direct -> assert false
+  | Ecmp -> hashed_port flow_key
+  | Edge_flowlet ->
+    (* a fresh random source port per flowlet: hash of 5-tuple + flowlet id *)
+    Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
+        49152 + (Ecmp_hash.hash_tuple ~seed:0x1eaf (flow_key, flowlet_id, 0, 0) mod 16384))
+  | Clove_ecn ->
+    let tbl = table t dst in
+    if Path_table.ready tbl then
+      Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
+          ignore flowlet_id;
+          Path_table.pick_wrr tbl)
+    else hashed_port flow_key
+  | Clove_int ->
+    let tbl = table t dst in
+    if Path_table.ready tbl then
+      Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
+          ignore flowlet_id;
+          Path_table.pick_least_utilized tbl)
+    else hashed_port flow_key
+  | Clove_latency ->
+    let tbl = table t dst in
+    if Path_table.ready tbl then
+      Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
+          ignore flowlet_id;
+          Path_table.pick_min_latency tbl)
+    else hashed_port flow_key
+  | Presto -> assert false (* handled separately *)
+
+let presto_pick t ~flow_key ~dst ~wire_size =
+  let tbl = table t dst in
+  if not (Path_table.ready tbl) then (hashed_port flow_key, None)
+  else begin
+    let pf =
+      match Hashtbl.find_opt t.presto_flows flow_key with
+      | Some pf -> pf
+      | None ->
+        let ports = Path_table.ports tbl in
+        let weights =
+          match Hashtbl.find_opt t.presto_weights (Addr.to_int dst) with
+          | Some ws when Array.length ws = Array.length ports -> ws
+          | _ -> Array.make (Array.length ports) 1.0
+        in
+        let p_wrr = Wrr.create ~weights in
+        let pf =
+          {
+            cell_bytes = 0;
+            cell_id = -1;
+            pkt_seq = 0;
+            cur_port = 0;
+            p_wrr;
+            p_ports = ports;
+          }
+        in
+        Hashtbl.replace t.presto_flows flow_key pf;
+        pf
+    in
+    if pf.cell_id < 0 || pf.cell_bytes + wire_size > t.cfg.Clove_config.presto_cell_bytes
+    then begin
+      pf.cell_id <- pf.cell_id + 1;
+      pf.cell_bytes <- 0;
+      pf.cur_port <- pf.p_ports.(Wrr.pick pf.p_wrr)
+    end;
+    pf.cell_bytes <- pf.cell_bytes + wire_size;
+    let cell =
+      { Packet.flow_key; cell_id = pf.cell_id; cell_seq = pf.pkt_seq }
+    in
+    pf.pkt_seq <- pf.pkt_seq + 1;
+    (pf.cur_port, Some cell)
+  end
+
+let tx t pkt =
+  match pkt.Packet.payload with
+  | Packet.Probe _ | Packet.Probe_reply _ ->
+    (* daemon control traffic: already encapsulated as needed *)
+    Host.send t.host pkt
+  | Packet.Tenant inner -> (
+    t.s_tx <- t.s_tx + 1;
+    match t.scheme with
+    | Direct -> Host.send t.host pkt
+    | _ ->
+      let dst = inner.Packet.dst in
+      let flow_key = Packet.tcp_flow_key inner in
+      add_destination t dst;
+      let overhead =
+        if t.cfg.Clove_config.rewrite_mode then rewrite_overhead_bytes
+        else Packet.encap_header_bytes
+      in
+      let wire_size = pkt.Packet.size + overhead in
+      let port, cell =
+        match t.scheme with
+        | Presto -> presto_pick t ~flow_key ~dst ~wire_size
+        | _ -> (pick_port t ~flow_key ~dst, None)
+      in
+      let cell =
+        (* Section 7 flowlet optimization: carry per-flow sequence numbers
+           so the receiving vswitch can restore order after path switches *)
+        match cell with
+        | Some _ -> cell
+        | None when t.cfg.Clove_config.clove_reorder ->
+          let counter =
+            match Hashtbl.find_opt t.reorder_seq flow_key with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.replace t.reorder_seq flow_key r;
+              r
+          in
+          let seq = !counter in
+          incr counter;
+          Some { Packet.flow_key; cell_id = 0; cell_seq = seq }
+        | None -> None
+      in
+      let fb = pop_feedback t ~to_hv:dst in
+      if fb <> None then t.s_piggy <- t.s_piggy + 1;
+      pkt.Packet.encap <-
+        Some
+          {
+            Packet.src_hv = Host.addr t.host;
+            dst_hv = dst;
+            src_port = port;
+            dst_port = Packet.stt_port;
+            feedback = fb;
+            cell;
+          };
+      pkt.Packet.size <- wire_size;
+      (match t.scheme with
+      | Clove_ecn -> pkt.Packet.ecn <- Packet.Ect
+      | Clove_int ->
+        pkt.Packet.ecn <- Packet.Ect;
+        pkt.Packet.int_enabled <- true
+      | Clove_latency | Ecmp | Edge_flowlet | Presto | Direct -> ());
+      Host.send t.host pkt)
+
+(* ----------------------- inbound dataplane ------------------------ *)
+
+let rx_tenant t pkt (inner : Packet.inner) =
+  t.s_rx <- t.s_rx + 1;
+  match pkt.Packet.encap with
+  | None -> Transport.Stack.deliver t.stack inner
+  | Some e ->
+    (* source-side: apply feedback the peer piggybacked for us *)
+    (match e.Packet.feedback with
+    | Some fb -> apply_feedback t ~peer_hv:e.Packet.src_hv fb
+    | None -> ());
+    (* receiver-side: observe fabric congestion state for the sender *)
+    (match t.scheme with
+    | Clove_ecn ->
+      if pkt.Packet.ecn = Packet.Ce then
+        enqueue_feedback t ~from_hv:e.Packet.src_hv
+          (Packet.Fb_ecn { port = e.Packet.src_port; congested = true })
+          ~port:e.Packet.src_port
+    | Clove_int ->
+      if pkt.Packet.int_enabled then
+        enqueue_feedback t ~from_hv:e.Packet.src_hv
+          (Packet.Fb_util { port = e.Packet.src_port; util = pkt.Packet.int_util })
+          ~port:e.Packet.src_port
+    | Clove_latency ->
+      (* NIC timestamping + synchronized clocks: one-way delay is simply
+         receive time minus the sender's transmit stamp *)
+      let delay = Sim_time.diff (Scheduler.now t.sched) pkt.Packet.sent_at in
+      enqueue_feedback t ~from_hv:e.Packet.src_hv
+        (Packet.Fb_latency { port = e.Packet.src_port; delay })
+        ~port:e.Packet.src_port
+    | Ecmp | Edge_flowlet | Presto | Direct -> ());
+    (* decapsulate; the guest never sees outer ECN marks unless the
+       operator runs DCTCP guests and asked for them *)
+    if t.cfg.Clove_config.expose_ecn_to_guest && pkt.Packet.ecn = Packet.Ce then
+      inner.Packet.inner_ecn <- Packet.Ce;
+    (match e.Packet.cell with
+    | Some cell -> Presto_rx.on_packet t.presto_rx inner ~cell
+    | None -> Transport.Stack.deliver t.stack inner)
+
+let rx t pkt =
+  match pkt.Packet.payload with
+  | Packet.Tenant inner -> rx_tenant t pkt inner
+  | Packet.Probe p ->
+    (* feedback carriers are "null probes" with id -1: process context
+       bits, do not answer *)
+    (match pkt.Packet.encap with
+    | Some e -> (
+      match e.Packet.feedback with
+      | Some fb -> apply_feedback t ~peer_hv:e.Packet.src_hv fb
+      | None -> ())
+    | None -> ());
+    if p.Packet.probe_id >= 0 then begin
+      t.s_probes_answered <- t.s_probes_answered + 1;
+      let reply =
+        Traceroute.answer_probe ~host_addr:(Host.addr t.host)
+          ~remaining_ttl:pkt.Packet.ttl p
+      in
+      Host.send t.host reply
+    end
+  | Packet.Probe_reply r -> (
+    match t.daemon with Some d -> Traceroute.on_reply d r | None -> ())
+
+let create ~host ~stack ~scheme ~cfg ~rng () =
+  let sched = Host.sched host in
+  let t =
+      {
+        sched;
+        host;
+        stack;
+        scheme;
+        cfg;
+        rng;
+        tables = Hashtbl.create 16;
+        flowlets = Flowlet.create ~sched ~gap:cfg.Clove_config.flowlet_gap;
+        presto_flows = Hashtbl.create 64;
+        presto_weights = Hashtbl.create 16;
+        presto_weight_fn = (fun _ -> 1.0);
+        presto_rx =
+          Presto_rx.create ~sched ~cfg ~deliver:(fun inner ->
+              Transport.Stack.deliver stack inner);
+        reorder_seq = Hashtbl.create 64;
+        peers = Hashtbl.create 16;
+        daemon = None;
+        s_tx = 0;
+        s_rx = 0;
+        s_piggy = 0;
+        s_carrier = 0;
+        s_fb_seen = 0;
+        s_escalations = 0;
+        s_probes_answered = 0;
+      }
+  in
+  if needs_discovery scheme then
+    t.daemon <-
+      Some
+        (Traceroute.create ~sched ~cfg ~rng:(Rng.split rng) ~host_addr:(Host.addr host)
+           ~tx:(fun pkt -> Host.send host pkt)
+           ~on_paths:(fun ~dst pairs -> on_paths t ~dst pairs));
+  Host.set_handler host (fun pkt -> rx t pkt);
+  t
+
+let set_presto_weight_fn t f = t.presto_weight_fn <- f
+
+let path_table t dst =
+  let key = Addr.to_int dst in
+  match Hashtbl.find_opt t.tables key with
+  | Some tbl when Path_table.ready tbl -> Some tbl
+  | Some _ | None -> None
+
+let scheme t = t.scheme
+let host t = t.host
+
+let stats t =
+  {
+    tx_tenant = t.s_tx;
+    rx_tenant = t.s_rx;
+    flowlets = Flowlet.flowlets_started t.flowlets;
+    feedback_piggybacked = t.s_piggy;
+    feedback_carriers = t.s_carrier;
+    congestion_feedback_seen = t.s_fb_seen;
+    escalations = t.s_escalations;
+    probes_answered = t.s_probes_answered;
+  }
+
+let flowlet_table_gap t = Flowlet.gap t.flowlets
+let stop t = match t.daemon with Some d -> Traceroute.stop d | None -> ()

@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Event_queue Sim_time

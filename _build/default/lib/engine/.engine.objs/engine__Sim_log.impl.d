@@ -1,0 +1,1 @@
+lib/engine/sim_log.ml: Format Logs Scheduler Sim_time

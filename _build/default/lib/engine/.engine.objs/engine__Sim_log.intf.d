@@ -1,0 +1,1 @@
+lib/engine/sim_log.mli: Format Logs Scheduler

@@ -1,0 +1,20 @@
+(** Priority queue of timestamped events.
+
+    A classic array-based binary min-heap ordered by (time, insertion
+    sequence), so events scheduled for the same instant fire in insertion
+    order — a property the deterministic simulator relies on. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val add : 'a t -> time:Sim_time.t -> 'a -> unit
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Sim_time.t option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

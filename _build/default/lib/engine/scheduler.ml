@@ -1,0 +1,56 @@
+type handle = { mutable live : bool; thunk : unit -> unit }
+
+type t = { mutable clock : Sim_time.t; queue : handle Event_queue.t }
+
+let create () = { clock = Sim_time.zero; queue = Event_queue.create () }
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if Sim_time.(time < t.clock) then invalid_arg "Scheduler.schedule_at: time in the past";
+  let h = { live = true; thunk = f } in
+  Event_queue.add t.queue ~time h;
+  h
+
+let schedule t ~after f = schedule_at t ~time:(Sim_time.add t.clock after) f
+let cancel h = h.live <- false
+let is_pending h = h.live
+
+let schedule_periodic t ~every f =
+  if Sim_time.compare_span every Sim_time.zero_span <= 0 then
+    invalid_arg "Scheduler.schedule_periodic: period must be positive";
+  let rec tick () =
+    if f () then ignore (schedule t ~after:every tick)
+  in
+  ignore (schedule t ~after:every tick)
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+    t.clock <- time;
+    if h.live then begin
+      h.live <- false;
+      h.thunk ()
+    end;
+    true
+
+let run ?until ?(max_events = max_int) t =
+  let fired = ref 0 in
+  let continue () =
+    !fired < max_events
+    &&
+    match Event_queue.peek_time t.queue with
+    | None -> false
+    | Some time -> (
+      match until with
+      | Some horizon when Sim_time.(time > horizon) ->
+        t.clock <- horizon;
+        false
+      | _ -> true)
+  in
+  while continue () do
+    ignore (step t);
+    incr fired
+  done
+
+let pending_events t = Event_queue.size t.queue

@@ -1,0 +1,42 @@
+(** Discrete-event scheduler.
+
+    The scheduler owns the simulation clock and an event queue of thunks.
+    All simulator components share one scheduler; running it drains events in
+    timestamp order until the queue is empty or a configured horizon/stop
+    condition is reached. *)
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled before it fires. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current simulation time. *)
+
+val schedule : t -> after:Sim_time.span -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after]. *)
+
+val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at [time]; raises [Invalid_argument]
+    if [time] is in the past. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired or cancelled event is a
+    no-op. *)
+
+val is_pending : handle -> bool
+
+val schedule_periodic : t -> every:Sim_time.span -> (unit -> bool) -> unit
+(** [schedule_periodic t ~every f] calls [f] every [every]; the series stops
+    when [f] returns [false]. The first call happens after [every]. *)
+
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+(** Drain the event queue.  [until] stops the clock at the given horizon
+    (events beyond it remain unfired); [max_events] is a safety valve. *)
+
+val step : t -> bool
+(** Fire the single earliest event; [false] if the queue was empty. *)
+
+val pending_events : t -> int

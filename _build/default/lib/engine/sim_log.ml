@@ -1,0 +1,27 @@
+let src = Logs.Src.create "clove.sim" ~doc:"Clove simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let reporter_installed = ref false
+
+let set_level level =
+  if not !reporter_installed then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    reporter_installed := true
+  end;
+  Logs.Src.set_level src level
+
+let debug sched fmt =
+  Format.kasprintf
+    (fun s -> Log.debug (fun m -> m "[%a] %s" Sim_time.pp (Scheduler.now sched) s))
+    fmt
+
+let info sched fmt =
+  Format.kasprintf
+    (fun s -> Log.info (fun m -> m "[%a] %s" Sim_time.pp (Scheduler.now sched) s))
+    fmt
+
+let warn sched fmt =
+  Format.kasprintf
+    (fun s -> Log.warn (fun m -> m "[%a] %s" Sim_time.pp (Scheduler.now sched) s))
+    fmt

@@ -1,0 +1,13 @@
+(** Simulation-aware logging.
+
+    Thin wrapper over [Logs] that prefixes messages with the simulation
+    clock.  Disabled by default; enable per-experiment with [set_level]. *)
+
+val src : Logs.src
+
+val set_level : Logs.level option -> unit
+(** Set level and install a stderr reporter on first use. *)
+
+val debug : Scheduler.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : Scheduler.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : Scheduler.t -> ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Addr Array Clove Fabric Figures Hashtbl Host List Printf Rng Scenario Scheduler Sim_time Stats Sweep Topology Transport Workload

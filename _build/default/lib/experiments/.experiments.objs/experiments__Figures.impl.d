@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Format List Printf Scenario Sim_time Stats Sweep Workload

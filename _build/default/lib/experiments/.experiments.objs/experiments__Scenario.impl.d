@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Addr Array Clove Fabric Fabric_lb Hashtbl Host List Packet Rng Scheduler Sim_time Stats String Topology Transport Workload

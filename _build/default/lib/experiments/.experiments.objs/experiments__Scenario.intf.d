@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Clove Fabric Fabric_lb Host Rng Scheduler Sim_time Stats Transport Workload

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Hashtbl List Rng Scenario Workload

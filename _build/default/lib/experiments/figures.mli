@@ -1,0 +1,72 @@
+(** One runner per figure of the paper's evaluation (Sections 5 and 6).
+
+    Every runner returns a {!report}: a table whose rows mirror the series
+    plotted in the paper (x = network load or fan-in, one column per
+    scheme), plus the paper's headline claim for that figure so measured
+    and published shapes can be compared side by side. *)
+
+type report = {
+  id : string;  (** "fig4b", "fig8a", ... *)
+  title : string;
+  paper_claim : string;
+  table : Stats.Table.t;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {2 Testbed figures (Section 5)} *)
+
+val fig4b : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Avg FCT vs load, symmetric; ECMP / Edge-Flowlet / Clove-ECN / MPTCP /
+    Presto. *)
+
+val fig4c : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Same under asymmetry (one S2-L2 link down). *)
+
+val fig5a : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Avg FCT of <100 KB flows vs load, asymmetric. *)
+
+val fig5b : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Avg FCT of >10 MB flows vs load, asymmetric.  (With scaled flow sizes
+    the elephant cutoff is scaled identically.) *)
+
+val fig5c : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** 99th-percentile FCT vs load, asymmetric. *)
+
+val fig6 : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Clove-ECN parameter sensitivity: (flowlet gap x RTT, ECN threshold). *)
+
+val fig7 : ?requests:int -> ?params:Scenario.params -> unit -> report
+(** Incast: client goodput vs request fan-in; Clove-ECN / Edge-Flowlet /
+    MPTCP. *)
+
+(** {2 Packet-level simulation figures (Section 6)} *)
+
+val fig8a : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Avg FCT vs load, symmetric; adds Clove-INT and CONGA, 3 connections
+    per client as in the NS2 setup. *)
+
+val fig8b : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Same under asymmetry. *)
+
+val fig9 : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** CDF of mice FCTs at 70% load, asymmetric; ECMP / Clove-ECN / CONGA. *)
+
+(** {2 Ablations (Section 7 / DESIGN.md)} *)
+
+val ablation_relay : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Sensitivity to the ECN relay interval. *)
+
+val ablation_paths : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Sensitivity to the number of disjoint paths k. *)
+
+val ablation_beta : ?opts:Sweep.run_opts -> ?params:Scenario.params -> unit -> report
+(** Sensitivity to the weight-reduction fraction. *)
+
+val all : unit -> (string * (unit -> report)) list
+(** Every runner, keyed by id, with default options. *)
+
+val capture_ratio :
+  ecmp:float -> clove:float -> conga:float -> float
+(** Fraction of the ECMP-to-CONGA FCT gain captured by Clove (the paper's
+    "captures 80%" metric). *)

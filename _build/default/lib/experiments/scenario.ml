@@ -1,0 +1,309 @@
+type scheme =
+  | S_ecmp
+  | S_edge_flowlet
+  | S_clove_ecn
+  | S_clove_int
+  | S_clove_latency
+  | S_presto
+  | S_mptcp
+  | S_conga
+  | S_letflow
+
+let scheme_name = function
+  | S_ecmp -> "ECMP"
+  | S_edge_flowlet -> "Edge-Flowlet"
+  | S_clove_ecn -> "Clove-ECN"
+  | S_clove_int -> "Clove-INT"
+  | S_clove_latency -> "Clove-Latency"
+  | S_presto -> "Presto"
+  | S_mptcp -> "MPTCP"
+  | S_conga -> "CONGA"
+  | S_letflow -> "LetFlow"
+
+let scheme_of_string s =
+  match String.lowercase_ascii s with
+  | "ecmp" -> Some S_ecmp
+  | "edge-flowlet" | "edgeflowlet" -> Some S_edge_flowlet
+  | "clove-ecn" | "clove" -> Some S_clove_ecn
+  | "clove-int" -> Some S_clove_int
+  | "clove-latency" -> Some S_clove_latency
+  | "presto" -> Some S_presto
+  | "mptcp" -> Some S_mptcp
+  | "conga" -> Some S_conga
+  | "letflow" -> Some S_letflow
+  | _ -> None
+
+type params = {
+  hosts_per_leaf : int;
+  host_rate_bps : float;
+  fabric_rate_bps : float;
+  asymmetric : bool;
+  ecn_threshold_pkts : int;
+  queue_capacity_pkts : int;
+  flowlet_gap : Sim_time.span option;
+  k_paths_override : int option;
+  weight_cut_override : float option;
+  rtt_estimate : Sim_time.span;
+  conns_per_client : int;
+  mptcp_subflows : int;
+  size_scale : float;
+  guest_dctcp : bool;
+  rewrite_mode : bool;
+  clove_reorder : bool;
+  adaptive_gap : bool;
+  probe_interval : Sim_time.span option;
+  data_mining : bool;
+  seed : int;
+}
+
+let default_params =
+  {
+    hosts_per_leaf = 8;
+    host_rate_bps = 10e9;
+    fabric_rate_bps = 20e9;
+    asymmetric = false;
+    ecn_threshold_pkts = 20;
+    queue_capacity_pkts = 256;
+    flowlet_gap = None;
+    k_paths_override = None;
+    weight_cut_override = None;
+    rtt_estimate = Sim_time.us 40;
+    conns_per_client = 1;
+    mptcp_subflows = 4;
+    size_scale = 0.25;
+    guest_dctcp = false;
+    rewrite_mode = false;
+    clove_reorder = false;
+    adaptive_gap = false;
+    probe_interval = None;
+    data_mining = false;
+    seed = 1;
+  }
+
+type t = {
+  sched : Scheduler.t;
+  fabric : Fabric.t;
+  ls : Topology.leaf_spine;
+  clients : Host.t array;
+  servers : Host.t array;
+  scheme : scheme;
+  params : params;
+  rng : Rng.t;
+  stacks : (int, Transport.Stack.t) Hashtbl.t;
+  vswitches : (int, Clove.Vswitch.t) Hashtbl.t;
+  conga : Fabric_lb.Conga.t option;
+  letflow : Fabric_lb.Letflow.t option;
+  clove_cfg : Clove.Clove_config.t;
+  dist : Stats.Cdf.t;
+  mutable next_conn : int;
+  mutable next_port : int;
+}
+
+let sched t = t.sched
+let fabric t = t.fabric
+let clients t = t.clients
+let servers t = t.servers
+let scheme t = t.scheme
+let params t = t.params
+let rng t = t.rng
+let size_dist t = t.dist
+
+let vswitch t host =
+  match Hashtbl.find_opt t.vswitches (Host.id host) with
+  | Some v -> v
+  | None -> invalid_arg "Scenario.vswitch: unknown host"
+
+let stack t host =
+  match Hashtbl.find_opt t.stacks (Host.id host) with
+  | Some s -> s
+  | None -> invalid_arg "Scenario.stack: unknown host"
+
+let bisection_bps t =
+  float_of_int t.params.hosts_per_leaf *. t.params.host_rate_bps
+
+let warmup _t = Sim_time.ms 20
+
+let vswitch_scheme = function
+  | S_ecmp -> Clove.Vswitch.Ecmp
+  | S_edge_flowlet -> Clove.Vswitch.Edge_flowlet
+  | S_clove_ecn -> Clove.Vswitch.Clove_ecn
+  | S_clove_int -> Clove.Vswitch.Clove_int
+  | S_clove_latency -> Clove.Vswitch.Clove_latency
+  | S_presto -> Clove.Vswitch.Presto
+  | S_mptcp -> Clove.Vswitch.Ecmp
+  | S_conga -> Clove.Vswitch.Direct
+  | S_letflow -> Clove.Vswitch.Direct
+
+let build ~scheme params =
+  let sched = Scheduler.create () in
+  let rng = Rng.create params.seed in
+  let ls =
+    Topology.leaf_spine ~leaves:2 ~spines:2 ~hosts_per_leaf:params.hosts_per_leaf
+      ~parallel:2 ~host_rate_bps:params.host_rate_bps
+      ~fabric_rate_bps:params.fabric_rate_bps ~host_delay:(Sim_time.us 2)
+      ~fabric_delay:(Sim_time.us 2)
+  in
+  let config =
+    {
+      Fabric.queue_capacity_pkts = params.queue_capacity_pkts;
+      ecn_threshold_pkts = params.ecn_threshold_pkts;
+      index_preserving = true;
+      int_capable = (scheme = S_clove_int);
+      seed = params.seed;
+    }
+  in
+  let fabric = Fabric.create ~sched ~config ls.Topology.topo in
+  Fabric.program_routes fabric;
+  (* the paper's failure: one of the two 40G links between spine S2 and
+     leaf L2 *)
+  if params.asymmetric then begin
+    let l2 = ls.Topology.leaf_ids.(1) and s2 = ls.Topology.spine_ids.(1) in
+    match Topology.find_edge ls.Topology.topo ~a:l2 ~b:s2 ~bundle_index:1 with
+    | Some e -> Fabric.fail_edge fabric e
+    | None -> invalid_arg "Scenario.build: expected parallel link missing"
+  end;
+  let base_cfg = Clove.Clove_config.with_rtt params.rtt_estimate in
+  let clove_cfg =
+    let cfg =
+      match params.flowlet_gap with
+      | None -> base_cfg
+      | Some gap -> { base_cfg with Clove.Clove_config.flowlet_gap = gap }
+    in
+    let cfg =
+      match params.k_paths_override with
+      | None -> cfg
+      | Some k -> { cfg with Clove.Clove_config.k_paths = k }
+    in
+    let cfg =
+      match params.weight_cut_override with
+      | None -> cfg
+      | Some beta -> { cfg with Clove.Clove_config.weight_cut = beta }
+    in
+    let cfg =
+      {
+        cfg with
+        Clove.Clove_config.rewrite_mode = params.rewrite_mode;
+        clove_reorder = params.clove_reorder;
+        adaptive_flowlet_gap = params.adaptive_gap;
+        expose_ecn_to_guest = params.guest_dctcp;
+      }
+    in
+    match params.probe_interval with
+    | None -> cfg
+    | Some every -> { cfg with Clove.Clove_config.probe_interval = every }
+  in
+  let stacks = Hashtbl.create 64 and vswitches = Hashtbl.create 64 in
+  let degraded_spine = ls.Topology.spine_ids.(1) in
+  Array.iter
+    (fun host ->
+      let st = Transport.Stack.create () in
+      Hashtbl.replace stacks (Host.id host) st;
+      let v =
+        Clove.Vswitch.create ~host ~stack:st ~scheme:(vswitch_scheme scheme)
+          ~cfg:clove_cfg ~rng:(Rng.split rng) ()
+      in
+      (* Presto gets the paper's "benefit of the doubt": ideal static path
+         weights reflecting the asymmetric topology *)
+      if scheme = S_presto && params.asymmetric then
+        Clove.Vswitch.set_presto_weight_fn v (fun path ->
+            let through_degraded =
+              List.exists (fun h -> h.Packet.hop_node = degraded_spine) path
+            in
+            if through_degraded then 1.0 else 2.0);
+      Hashtbl.replace vswitches (Host.id host) v)
+    (Fabric.hosts fabric);
+  let host_of_node id = Fabric.host_by_addr fabric (Addr.of_int id) in
+  let clients = Array.map host_of_node ls.Topology.host_ids.(0) in
+  let servers = Array.map host_of_node ls.Topology.host_ids.(1) in
+  let letflow =
+    if scheme = S_letflow then
+      Some (Fabric_lb.Letflow.install ~seed:params.seed fabric)
+    else None
+  in
+  let conga =
+    if scheme = S_conga then
+      (* CONGA's 500 us flowlet gap is ~5x its testbed RTT; scale the same
+         way relative to ours *)
+      Some
+        (Fabric_lb.Conga.install
+           ~flowlet_gap:(Sim_time.mul_span params.rtt_estimate 5.0)
+           fabric)
+    else None
+  in
+  {
+    sched;
+    fabric;
+    ls;
+    clients;
+    servers;
+    scheme;
+    params;
+    rng;
+    stacks;
+    vswitches;
+    conga;
+    letflow;
+    clove_cfg;
+    dist =
+      Workload.Flow_size_dist.scale
+        (if params.data_mining then Workload.Flow_size_dist.data_mining
+         else Workload.Flow_size_dist.web_search)
+        params.size_scale;
+    next_conn = 0;
+    next_port = 20000;
+  }
+
+let fresh_conn t =
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  let port = t.next_port in
+  t.next_port <- port + 16;
+  (id, port)
+
+let tcp_cfg t =
+  if t.params.guest_dctcp then Transport.Tcp_config.dctcp
+  else Transport.Tcp_config.default
+
+let connect t ~src ~dst =
+  let tcp_cfg = tcp_cfg t in
+  let conn_id, base_port = fresh_conn t in
+  let v_src = vswitch t src and v_dst = vswitch t dst in
+  Clove.Vswitch.add_destination v_src (Host.addr dst);
+  Clove.Vswitch.add_destination v_dst (Host.addr src);
+  let tx_src pkt = Clove.Vswitch.tx v_src pkt in
+  let tx_dst pkt = Clove.Vswitch.tx v_dst pkt in
+  match t.scheme with
+  | S_mptcp ->
+    let conn =
+      Transport.Mptcp.create ~sched:t.sched ~cfg:tcp_cfg ~conn_id
+        ~subflows:t.params.mptcp_subflows ~src:(Host.addr src) ~dst:(Host.addr dst)
+        ~base_port ~dst_port:80 ~tx_src ~tx_dst ~src_stack:(stack t src)
+        ~dst_stack:(stack t dst) ()
+    in
+    fun ~bytes ~on_complete -> Transport.Mptcp.send conn ~bytes ~on_complete
+  | _ ->
+    let sender =
+      Transport.Tcp.create_sender ~sched:t.sched ~cfg:tcp_cfg ~conn_id
+        ~src:(Host.addr src) ~dst:(Host.addr dst) ~src_port:base_port ~dst_port:80
+        ~tx:tx_src ()
+    in
+    Transport.Stack.register_sender (stack t src) sender;
+    let receiver =
+      Transport.Tcp.create_receiver ~sched:t.sched ~cfg:tcp_cfg ~conn_id
+        ~addr:(Host.addr dst) ~peer:(Host.addr src) ~src_port:80 ~dst_port:base_port
+        ~tx:tx_dst ()
+    in
+    Transport.Stack.register_receiver (stack t dst) receiver;
+    fun ~bytes ~on_complete -> Transport.Tcp.send sender ~bytes ~on_complete
+
+let conga t = t.conga
+let total_drops t = Fabric.total_drops t.fabric
+let total_marks t = Fabric.total_marks t.fabric
+
+let quiesce t =
+  Hashtbl.iter (fun _ v -> Clove.Vswitch.stop v) t.vswitches;
+  Hashtbl.iter (fun _ s -> Transport.Stack.stop_all s) t.stacks;
+  ignore t.conga;
+  ignore t.letflow;
+  ignore t.clove_cfg;
+  ignore t.ls

@@ -1,0 +1,86 @@
+(** Experiment scenario: the paper's testbed, in simulation.
+
+    Builds the 2-leaf/2-spine fabric (two parallel fabric links per
+    leaf-spine pair — four disjoint leaf-to-leaf paths), places clients on
+    leaf 0 and servers on leaf 1, instantiates per-host transport stacks and
+    hypervisor virtual switches for the requested load-balancing scheme,
+    optionally fails one spine-leaf link (the paper's asymmetry), and hands
+    out persistent connections for the workload drivers. *)
+
+type scheme =
+  | S_ecmp
+  | S_edge_flowlet
+  | S_clove_ecn
+  | S_clove_int
+  | S_clove_latency  (** Section 7's latency-feedback variant *)
+  | S_presto
+  | S_mptcp  (** MPTCP transport over the ECMP dataplane *)
+  | S_conga  (** plain transport, CONGA in the fabric *)
+  | S_letflow  (** plain transport, in-ToR flowlet switching (NSDI'17) *)
+
+val scheme_name : scheme -> string
+val scheme_of_string : string -> scheme option
+
+type params = {
+  hosts_per_leaf : int;
+  host_rate_bps : float;
+  fabric_rate_bps : float;
+      (** per fabric link; 4 such links per leaf — keep
+          [4 * fabric_rate = hosts_per_leaf * host_rate] for a
+          non-oversubscribed fabric like the paper's *)
+  asymmetric : bool;  (** fail one of the two S2-L2 links (-25% bisection) *)
+  ecn_threshold_pkts : int;
+  queue_capacity_pkts : int;
+  flowlet_gap : Sim_time.span option;  (** override Clove's flowlet gap *)
+  k_paths_override : int option;  (** cap the number of discovered paths *)
+  weight_cut_override : float option;  (** Clove-ECN weight reduction *)
+  rtt_estimate : Sim_time.span;
+  conns_per_client : int;
+  mptcp_subflows : int;
+  size_scale : float;  (** flow-size scale-down factor for fast runs *)
+  guest_dctcp : bool;  (** run DCTCP guest stacks and expose fabric marks *)
+  rewrite_mode : bool;  (** non-overlay 5-tuple rewriting (Section 7) *)
+  clove_reorder : bool;  (** flowlet sequence numbers + receiver reordering *)
+  adaptive_gap : bool;  (** adaptive flowlet gap (with Clove-Latency) *)
+  probe_interval : Sim_time.span option;  (** traceroute refresh override *)
+  data_mining : bool;  (** use the data-mining flow-size CDF instead *)
+  seed : int;
+}
+
+val default_params : params
+(** 8 hosts/leaf at 10G, 20G fabric links, ECN threshold 20, symmetric,
+    1 connection per client, 4 MPTCP subflows, sizes scaled by 0.25. *)
+
+type t
+
+val build : scheme:scheme -> params -> t
+val sched : t -> Scheduler.t
+val fabric : t -> Fabric.t
+val clients : t -> Host.t array
+val servers : t -> Host.t array
+val scheme : t -> scheme
+val params : t -> params
+val rng : t -> Rng.t
+val vswitch : t -> Host.t -> Clove.Vswitch.t
+val stack : t -> Host.t -> Transport.Stack.t
+val conga : t -> Fabric_lb.Conga.t option
+(** The fabric-side CONGA state, when the scheme is [S_conga]. *)
+
+val connect : t -> src:Host.t -> dst:Host.t -> Workload.Websearch.submit
+(** A persistent connection carrying data from [src] to [dst], using the
+    scenario's transport (MPTCP connections under [S_mptcp], plain TCP
+    otherwise).  Path discovery toward both endpoints is pre-warmed. *)
+
+val size_dist : t -> Stats.Cdf.t
+(** The web-search distribution scaled by [size_scale]. *)
+
+val bisection_bps : t -> float
+(** Full (pre-failure) bisection bandwidth, the paper's load reference. *)
+
+val warmup : t -> Sim_time.span
+(** Recommended workload start time: enough for path discovery. *)
+
+val total_drops : t -> int
+val total_marks : t -> int
+val quiesce : t -> unit
+(** Stop daemons and retransmission timers after a run. *)

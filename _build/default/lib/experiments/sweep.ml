@@ -1,0 +1,93 @@
+type run_opts = { jobs_per_conn : int; seeds : int list }
+
+let default_opts = { jobs_per_conn = 30; seeds = [ 1; 2; 3 ] }
+let quick_opts = { jobs_per_conn = 12; seeds = [ 1 ] }
+
+let build_conns scn =
+  (* each client opens [conns_per_client] persistent connections, each to a
+     uniformly chosen server (Section 5's communication model) *)
+  let rng = Scenario.rng scn in
+  let servers = Scenario.servers scn in
+  let per_client = (Scenario.params scn).Scenario.conns_per_client in
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun client ->
+            Array.init per_client (fun _ ->
+                let server = Rng.pick rng servers in
+                Scenario.connect scn ~src:client ~dst:server))
+          (Scenario.clients scn)))
+
+let websearch_run ~scheme ~params ~load ~jobs_per_conn =
+  let scn = Scenario.build ~scheme params in
+  let conns = build_conns scn in
+  let cfg =
+    {
+      Workload.Websearch.load;
+      bisection_bps = Scenario.bisection_bps scn;
+      jobs_per_conn;
+      size_dist = Scenario.size_dist scn;
+      start_at = Scenario.warmup scn;
+    }
+  in
+  let fct =
+    Workload.Websearch.run ~sched:(Scenario.sched scn) ~rng:(Scenario.rng scn) ~conns cfg
+  in
+  Scenario.quiesce scn;
+  fct
+
+(* Several figures slice the same sweep differently (fig4c and fig5a/b/c
+   are one set of runs in the paper too), so points are memoized on their
+   full configuration. *)
+let memo : (int, Workload.Fct_stats.t) Hashtbl.t = Hashtbl.create 64
+
+let clear_memo () = Hashtbl.reset memo
+
+let websearch_point ~scheme ~params ~load ~opts =
+  (* hash_param with a high node limit: the default Hashtbl.hash looks at
+     only ~10 nodes, which would collide distinct configurations *)
+  let key =
+    Hashtbl.hash_param 512 512 (scheme, params, load, opts.jobs_per_conn, opts.seeds)
+  in
+  match Hashtbl.find_opt memo key with
+  | Some fct -> fct
+  | None ->
+    let fct =
+      List.fold_left
+        (fun acc seed ->
+          let params = { params with Scenario.seed } in
+          let fct =
+            websearch_run ~scheme ~params ~load ~jobs_per_conn:opts.jobs_per_conn
+          in
+          Workload.Fct_stats.merge acc fct)
+        (Workload.Fct_stats.create ())
+        opts.seeds
+    in
+    Hashtbl.replace memo key fct;
+    fct
+
+let incast_run ~scheme ~params ~fanout ~total_bytes ~requests =
+  let scn = Scenario.build ~scheme params in
+  let client = (Scenario.clients scn).(0) in
+  let submits =
+    Array.map
+      (fun server -> Scenario.connect scn ~src:server ~dst:client)
+      (Scenario.servers scn)
+  in
+  let result =
+    Workload.Incast.run ~sched:(Scenario.sched scn) ~rng:(Scenario.rng scn)
+      ~server_submits:submits ~fanout ~total_bytes ~requests
+      ~start_at:(Scenario.warmup scn)
+  in
+  Scenario.quiesce scn;
+  result.Workload.Incast.goodput_bps
+
+let incast_point ~scheme ~params ~fanout ~total_bytes ~requests ~seeds =
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let params = { params with Scenario.seed } in
+        acc +. incast_run ~scheme ~params ~fanout ~total_bytes ~requests)
+      0.0 seeds
+  in
+  total /. float_of_int (List.length seeds)

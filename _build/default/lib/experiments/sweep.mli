@@ -1,0 +1,45 @@
+(** Load sweeps: run one workload point per (scheme, load, seed) and
+    aggregate — each point gets a fresh scenario (fabric, stacks, daemons),
+    exactly like a testbed run. *)
+
+type run_opts = {
+  jobs_per_conn : int;
+  seeds : int list;  (** experiments are averaged over these seeds *)
+}
+
+val default_opts : run_opts
+(** 30 jobs per connection, seeds [1; 2; 3] (the paper averages 3 runs). *)
+
+val quick_opts : run_opts
+(** 12 jobs, single seed — for smoke tests. *)
+
+val websearch_run :
+  scheme:Scenario.scheme ->
+  params:Scenario.params ->
+  load:float ->
+  jobs_per_conn:int ->
+  Workload.Fct_stats.t
+(** One full scenario execution at one load point (single seed taken from
+    [params.seed]). *)
+
+val websearch_point :
+  scheme:Scenario.scheme ->
+  params:Scenario.params ->
+  load:float ->
+  opts:run_opts ->
+  Workload.Fct_stats.t
+(** Merged FCTs over all seeds in [opts].  Points are memoized on their
+    full configuration: figures that slice the same sweep differently
+    (fig4c and fig5a/b/c) reuse the same runs. *)
+
+val clear_memo : unit -> unit
+
+val incast_point :
+  scheme:Scenario.scheme ->
+  params:Scenario.params ->
+  fanout:int ->
+  total_bytes:int ->
+  requests:int ->
+  seeds:int list ->
+  float
+(** Mean client goodput (bps) over the seeds. *)

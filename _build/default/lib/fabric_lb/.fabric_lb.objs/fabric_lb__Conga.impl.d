@@ -1,0 +1,1 @@
+lib/fabric_lb/conga.ml: Addr Array Clove Ecmp_hash Fabric Float Hashtbl Host Link List Packet Scheduler Sim_time Switch Topology

@@ -1,0 +1,1 @@
+lib/fabric_lb/conga.mli: Fabric Sim_time

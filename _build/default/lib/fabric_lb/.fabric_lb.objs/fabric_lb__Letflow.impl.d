@@ -1,0 +1,1 @@
+lib/fabric_lb/letflow.ml: Array Clove Fabric Hashtbl Packet Rng Sim_time Switch

@@ -1,0 +1,1 @@
+lib/fabric_lb/letflow.mli: Fabric Sim_time

@@ -1,0 +1,37 @@
+(** CONGA (Alizadeh et al., SIGCOMM '14) — the in-network, utilization-aware
+    baseline the paper compares against in its NS2 simulations.
+
+    Implemented for 2-tier leaf-spine fabrics (CONGA's own design limit) on
+    top of the generic {!Netsim.Switch} hook points:
+
+    - every leaf tracks, per destination leaf and per uplink (LBTag), the
+      path congestion metric learned from feedback ([CongToLeaf]) and the
+      metric measured on arriving packets ([CongFromLeaf]);
+    - packets crossing the fabric carry (LBTag, CE); every hop maxes its
+      egress-link DRE utilization into CE; the destination leaf stores it;
+    - reverse traffic piggybacks one (FB_LBTag, FB_metric) pair per packet,
+      round-robining over LBTags;
+    - leaves route each new flowlet (500 us gap by default) on the uplink
+      minimizing max(local DRE, CongToLeaf);
+    - metrics age out so stale congestion does not pin decisions.
+
+    Spines forward with the fabric's index-preserving parallel-link rule,
+    so an LBTag identifies a full leaf-to-leaf path. *)
+
+type t
+
+val install :
+  ?flowlet_gap:Sim_time.span ->
+  ?metric_age:Sim_time.span ->
+  Fabric.t ->
+  t
+(** Installs pickers on the leaves and CE-stamping hooks on every switch.
+    Defaults: 500 us flowlet gap, 10 ms metric age. *)
+
+val flowlets_started : t -> int
+val decisions : t -> int
+(** Cross-fabric path choices made. *)
+
+val cong_to_leaf : t -> leaf:int -> dst_leaf:int -> float array
+(** Current (aged) CongToLeaf metrics of [leaf] toward [dst_leaf], one per
+    uplink — for inspection and tests. *)

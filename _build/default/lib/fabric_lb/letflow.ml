@@ -1,0 +1,46 @@
+type t = {
+  tables : (int, int Clove.Flowlet.t) Hashtbl.t; (* switch id -> flowlet table *)
+  rngs : (int, Rng.t) Hashtbl.t;
+}
+
+let flow_key_of_packet pkt =
+  match pkt.Packet.payload with
+  | Packet.Tenant inner -> Packet.tcp_flow_key inner
+  | Packet.Probe p -> Hashtbl.hash (p.Packet.probe_id, p.Packet.probe_port)
+  | Packet.Probe_reply r -> Hashtbl.hash r.Packet.reply_probe_id
+
+let picker t sw ~in_port pkt ~candidates =
+  ignore in_port;
+  let n = Array.length candidates in
+  if n = 1 then candidates.(0)
+  else begin
+    let table = Hashtbl.find t.tables (Switch.id sw) in
+    let rng = Hashtbl.find t.rngs (Switch.id sw) in
+    let key = flow_key_of_packet pkt in
+    let port =
+      Clove.Flowlet.touch table ~key ~pick:(fun ~flowlet_id ->
+          ignore flowlet_id;
+          candidates.(Rng.int rng n))
+    in
+    (* the cached choice may have been invalidated by a failure *)
+    if Array.exists (fun c -> c = port) candidates then port
+    else candidates.(Rng.int rng n)
+  end
+
+let install ?(flowlet_gap = Sim_time.us 500) ~seed fabric =
+  let sched = Fabric.sched fabric in
+  let t = { tables = Hashtbl.create 8; rngs = Hashtbl.create 8 } in
+  let master = Rng.create seed in
+  Array.iter
+    (fun sw ->
+      Hashtbl.replace t.tables (Switch.id sw)
+        (Clove.Flowlet.create ~sched ~gap:flowlet_gap);
+      Hashtbl.replace t.rngs (Switch.id sw) (Rng.split master);
+      Switch.set_picker sw (picker t))
+    (Fabric.switches fabric);
+  t
+
+let flowlets_started t =
+  Hashtbl.fold
+    (fun _ table acc -> acc + Clove.Flowlet.flowlets_started table)
+    t.tables 0

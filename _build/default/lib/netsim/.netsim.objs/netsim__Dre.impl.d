@@ -1,0 +1,1 @@
+lib/netsim/dre.ml: Scheduler Sim_time

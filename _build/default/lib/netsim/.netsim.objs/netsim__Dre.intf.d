@@ -1,0 +1,1 @@
+lib/netsim/dre.mli: Scheduler Sim_time

@@ -1,0 +1,1 @@
+lib/netsim/ecmp_hash.ml: Addr Packet

@@ -1,0 +1,1 @@
+lib/netsim/fabric.ml: Addr Array Ecmp_hash Hashtbl Host Link List Pkt_queue Printf Routing Scheduler Sim_time Switch Topology

@@ -1,0 +1,1 @@
+lib/netsim/fabric.mli: Addr Host Link Scheduler Switch Topology

@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Addr Link Packet Scheduler

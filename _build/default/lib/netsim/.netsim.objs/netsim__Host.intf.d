@@ -1,0 +1,1 @@
+lib/netsim/host.mli: Addr Link Packet Scheduler

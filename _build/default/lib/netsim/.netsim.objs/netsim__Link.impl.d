@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Dre Packet Pkt_queue Printf Scheduler Sim_time

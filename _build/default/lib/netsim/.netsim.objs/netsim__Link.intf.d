@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Packet Pkt_queue Scheduler Sim_time

@@ -1,0 +1,1 @@
+lib/netsim/pkt_queue.mli: Packet

@@ -1,0 +1,1 @@
+lib/netsim/routing.ml: Hashtbl List Queue Topology

@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Addr Array Ecmp_hash Float Hashtbl Link Obj Packet Scheduler Sim_time

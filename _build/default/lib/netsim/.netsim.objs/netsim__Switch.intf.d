@@ -1,0 +1,1 @@
+lib/netsim/switch.mli: Addr Link Packet Scheduler Sim_time

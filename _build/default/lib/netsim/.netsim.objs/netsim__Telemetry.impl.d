@@ -1,0 +1,1 @@
+lib/netsim/telemetry.ml: Format Hashtbl Link List Pkt_queue Scheduler Sim_time

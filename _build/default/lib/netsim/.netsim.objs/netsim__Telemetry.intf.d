@@ -1,0 +1,1 @@
+lib/netsim/telemetry.mli: Format Link Scheduler Sim_time

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Hashtbl List Sim_time Switch

@@ -1,0 +1,32 @@
+(* A small multiplicative mix (xxhash-style finalizer) keeps the hash cheap,
+   deterministic across runs, and sensitive to every tuple field. *)
+let mix h v =
+  let h = h lxor (v * 0x9E3779B1) in
+  let h = (h lxor (h lsr 15)) * 0x85EBCA77 in
+  (h lxor (h lsr 13)) land max_int
+
+let hash_tuple ~seed (a, b, c, d) =
+  let h = mix seed a in
+  let h = mix h b in
+  let h = mix h c in
+  let h = mix h d in
+  mix h 0x2545F491
+
+let select ~seed pkt ~n =
+  if n <= 0 then invalid_arg "Ecmp_hash.select: n must be positive";
+  let tuple =
+    match Packet.outer_tuple pkt with
+    | Some t -> t
+    | None -> (
+      match pkt.Packet.payload with
+      | Packet.Tenant inner ->
+        let s = inner.Packet.seg in
+        ( Addr.to_int inner.Packet.src + (s.Packet.subflow * 65536),
+          Addr.to_int inner.Packet.dst,
+          s.Packet.src_port,
+          s.Packet.dst_port )
+      | Packet.Probe p ->
+        (Addr.to_int p.Packet.probe_src, Addr.to_int p.Packet.probe_dst, p.Packet.probe_port, 0)
+      | Packet.Probe_reply r -> (0, Addr.to_int r.Packet.reply_to, 0, 0))
+  in
+  hash_tuple ~seed tuple mod n

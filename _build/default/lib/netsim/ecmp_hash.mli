@@ -1,0 +1,14 @@
+(** Per-switch ECMP hashing.
+
+    Each physical switch hashes the (outer) 5-tuple with its own seed, as
+    real fabrics do: the mapping from header values to next hops is opaque
+    and differs per hop, which is exactly why Clove needs traceroute-based
+    path discovery rather than computing paths analytically. *)
+
+val hash_tuple : seed:int -> int * int * int * int -> int
+(** Deterministic non-negative hash of (src, dst, sport, dport). *)
+
+val select : seed:int -> Packet.t -> n:int -> int
+(** [select ~seed pkt ~n] picks an index in \[0, n) from the packet's outer
+    tuple if encapsulated, else from its inner 5-tuple; [n] must be
+    positive.  Probe replies hash on their destination only. *)

@@ -1,0 +1,180 @@
+type entity = E_host of Host.t | E_switch of Switch.t
+
+type config = {
+  queue_capacity_pkts : int;
+  ecn_threshold_pkts : int;
+  index_preserving : bool;
+  int_capable : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    queue_capacity_pkts = 256;
+    ecn_threshold_pkts = 20;
+    index_preserving = true;
+    int_capable = false;
+    seed = 42;
+  }
+
+type t = {
+  sched : Scheduler.t;
+  topo : Topology.t;
+  entities : entity array;  (* indexed by node id *)
+  hosts : Host.t array;
+  switches : Switch.t array;
+  edge_links : (Link.t * Link.t) array;  (* indexed by edge id *)
+}
+
+let sched t = t.sched
+let topology t = t.topo
+let hosts t = t.hosts
+
+let host_by_addr t addr =
+  match t.entities.(Addr.to_int addr) with
+  | E_host h -> h
+  | E_switch _ -> invalid_arg "Fabric.host_by_addr: not a host"
+
+let switches t = t.switches
+
+let switch_by_node t id =
+  match t.entities.(id) with E_switch s -> s | E_host _ -> raise Not_found
+
+let links_of_edge t (e : Topology.edge) = t.edge_links.(e.Topology.edge_id)
+let all_links t =
+  Array.to_list t.edge_links |> List.concat_map (fun (a, b) -> [ a; b ])
+
+let make_queue config = Pkt_queue.create ~capacity_pkts:config.queue_capacity_pkts
+    ~ecn_threshold_pkts:config.ecn_threshold_pkts ()
+
+let create ~sched ~config topo =
+  let nodes = Topology.nodes topo in
+  let n = Array.length nodes in
+  let entities = Array.make n (E_host (Host.create ~sched ~id:(-1) ~addr:(Addr.of_int 0))) in
+  let hosts = ref [] and switches = ref [] in
+  Array.iteri
+    (fun id node ->
+      match node with
+      | Topology.Host_node _ ->
+        let h = Host.create ~sched ~id ~addr:(Addr.of_int id) in
+        entities.(id) <- E_host h;
+        hosts := h :: !hosts
+      | Topology.Switch_node (level, _) ->
+        let s =
+          Switch.create ~sched ~id ~level
+            ~ecmp_seed:(Ecmp_hash.hash_tuple ~seed:config.seed (id, 7, 7, 7))
+            ~index_preserving:config.index_preserving ~int_capable:config.int_capable ()
+        in
+        entities.(id) <- E_switch s;
+        switches := s :: !switches)
+    nodes;
+  let edges = Topology.edges topo in
+  let n_edges = List.length edges in
+  let dummy =
+    Link.create ~sched ~rate_bps:1.0 ~prop_delay:Sim_time.zero_span ~label:"dummy" ()
+  in
+  let edge_links = Array.make n_edges (dummy, dummy) in
+  (* First pass: create links and register switch ports so that reverse-port
+     ids exist before sinks are wired. *)
+  let port_of = Hashtbl.create 64 in
+  (* (edge_id, node) -> port id at that node, for switch endpoints *)
+  List.iter
+    (fun (e : Topology.edge) ->
+      let mk src dst =
+        Link.create ~sched ~rate_bps:e.Topology.rate_bps ~prop_delay:e.Topology.delay
+          ~queue:(make_queue config)
+          ~label:(Printf.sprintf "n%d->n%d/%d" src dst e.Topology.bundle_index)
+          ()
+      in
+      let l_ab = mk e.Topology.a e.Topology.b in
+      let l_ba = mk e.Topology.b e.Topology.a in
+      edge_links.(e.Topology.edge_id) <- (l_ab, l_ba);
+      let register node link peer =
+        match entities.(node) with
+        | E_switch sw ->
+          let p =
+            Switch.add_port sw ~link ~peer ~parallel_index:e.Topology.bundle_index
+          in
+          Hashtbl.replace port_of (e.Topology.edge_id, node) p
+        | E_host h -> Host.attach_uplink h link
+      in
+      register e.Topology.a l_ab e.Topology.b;
+      register e.Topology.b l_ba e.Topology.a)
+    edges;
+  (* Second pass: wire sinks; a packet leaving a on edge e arrives at b on
+     b's port for that same edge. *)
+  List.iter
+    (fun (e : Topology.edge) ->
+      let l_ab, l_ba = edge_links.(e.Topology.edge_id) in
+      let wire link dst_node =
+        match entities.(dst_node) with
+        | E_host h -> Link.set_sink link (fun pkt -> Host.deliver h pkt)
+        | E_switch sw ->
+          let in_port = Hashtbl.find port_of (e.Topology.edge_id, dst_node) in
+          Link.set_sink link (fun pkt -> Switch.receive sw ~in_port pkt)
+      in
+      wire l_ab e.Topology.b;
+      wire l_ba e.Topology.a)
+    edges;
+  let t =
+    {
+      sched;
+      topo;
+      entities;
+      hosts = Array.of_list (List.rev !hosts);
+      switches = Array.of_list (List.rev !switches);
+      edge_links;
+    }
+  in
+  t
+
+let program_routes t =
+  Array.iter Switch.clear_routes t.switches;
+  Array.iter
+    (fun h ->
+      let dst = Host.id h in
+      let nh = Routing.next_hops t.topo ~dst in
+      Array.iter
+        (fun sw ->
+          match Hashtbl.find_opt nh (Switch.id sw) with
+          | None -> ()
+          | Some peers ->
+            let ports =
+              List.concat_map (fun peer -> Switch.ports_to_peer sw ~peer) peers
+              |> List.filter (fun p -> Link.up (Switch.port_link sw p))
+              |> List.sort compare
+            in
+            if ports <> [] then
+              Switch.set_routes sw (Host.addr h) (Array.of_list ports))
+        t.switches)
+    t.hosts
+
+let fail_edge t e =
+  Topology.fail_edge t.topo e;
+  let l_ab, l_ba = links_of_edge t e in
+  Link.set_up l_ab false;
+  Link.set_up l_ba false;
+  program_routes t
+
+let restore_edge t e =
+  Topology.restore_edge t.topo e;
+  let l_ab, l_ba = links_of_edge t e in
+  Link.set_up l_ab true;
+  Link.set_up l_ba true;
+  program_routes t
+
+let fold_queues t f init =
+  Array.fold_left
+    (fun acc (a, b) -> f (f acc (Link.queue a)) (Link.queue b))
+    init t.edge_links
+
+let total_drops t =
+  fold_queues t (fun acc q -> acc + (Pkt_queue.stats q).Pkt_queue.dropped) 0
+
+let total_marks t =
+  fold_queues t (fun acc q -> acc + (Pkt_queue.stats q).Pkt_queue.marked) 0
+
+let set_ecn_threshold t thr =
+  fold_queues t
+    (fun () q -> Pkt_queue.set_ecn_threshold q thr)
+    ()

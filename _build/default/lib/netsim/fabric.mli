@@ -1,0 +1,53 @@
+(** Instantiated network: live links, switches and hosts wired from a
+    {!Topology} description, with ECMP routes programmed.
+
+    The fabric owns the mapping between topology edges and the pair of
+    unidirectional links realizing them, supports link failure/restoration
+    with route recomputation (modelling the underlay routing protocol
+    reconverging), and exposes aggregate queue statistics. *)
+
+type t
+
+type config = {
+  queue_capacity_pkts : int;
+  ecn_threshold_pkts : int;  (** <= 0 disables marking *)
+  index_preserving : bool;
+      (** spines keep the ingress parallel-link index (testbed wiring) *)
+  int_capable : bool;  (** switches stamp INT utilization *)
+  seed : int;  (** seeds the per-switch ECMP hash functions *)
+}
+
+val default_config : config
+
+val create : sched:Scheduler.t -> config:config -> Topology.t -> t
+
+val sched : t -> Scheduler.t
+val topology : t -> Topology.t
+val hosts : t -> Host.t array
+(** In creation order; [Host.addr] equals the topology node id. *)
+
+val host_by_addr : t -> Addr.t -> Host.t
+val switches : t -> Switch.t array
+val switch_by_node : t -> int -> Switch.t
+(** Raises [Not_found] for a host node id. *)
+
+val links_of_edge : t -> Topology.edge -> Link.t * Link.t
+(** (a-to-b, b-to-a). *)
+
+val all_links : t -> Link.t list
+
+val program_routes : t -> unit
+(** Recompute and install ECMP routes for every host over live edges. *)
+
+val fail_edge : t -> Topology.edge -> unit
+(** Take both directions down, then reconverge routing. *)
+
+val restore_edge : t -> Topology.edge -> unit
+
+val total_drops : t -> int
+(** Sum of queue drops across all links. *)
+
+val total_marks : t -> int
+val set_ecn_threshold : t -> int -> unit
+(** Update the marking threshold on every link queue (used by the Fig. 6
+    parameter sweep). *)

@@ -1,0 +1,86 @@
+type t = {
+  sched : Scheduler.t;
+  rate_bps : float;
+  prop_delay : Sim_time.span;
+  queue : Pkt_queue.t;
+  dre : Dre.t;
+  label : string;
+  mutable sink : (Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable is_up : bool;
+  mutable tx_bytes : int;
+  mutable tx_packets : int;
+  mutable down_drops : int;
+}
+
+let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  let queue = match queue with Some q -> q | None -> Pkt_queue.create () in
+  {
+    sched;
+    rate_bps;
+    prop_delay;
+    queue;
+    dre = Dre.create ~rate_bps sched;
+    label;
+    sink = None;
+    busy = false;
+    is_up = true;
+    tx_bytes = 0;
+    tx_packets = 0;
+    down_drops = 0;
+  }
+
+let set_sink t f = t.sink <- Some f
+
+let deliver t pkt =
+  match t.sink with
+  | None -> invalid_arg (Printf.sprintf "Link %s: no sink installed" t.label)
+  | Some sink -> sink pkt
+
+let rec start_tx t =
+  match Pkt_queue.dequeue t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    Dre.observe t.dre ~bytes_len:pkt.Packet.size;
+    t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+    t.tx_packets <- t.tx_packets + 1;
+    let tx = Sim_time.tx_time ~bytes_len:pkt.Packet.size ~rate_bps:t.rate_bps in
+    ignore
+      (Scheduler.schedule t.sched ~after:tx (fun () ->
+           (* propagation: packet reaches the far end after prop_delay; the
+              serializer is free to start the next packet immediately *)
+           if t.is_up then
+             ignore
+               (Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
+                    if t.is_up then deliver t pkt));
+           start_tx t))
+
+let send t pkt =
+  if t.is_up then begin
+    if Pkt_queue.enqueue t.queue pkt then if not t.busy then start_tx t
+  end
+  else t.down_drops <- t.down_drops + 1
+
+let up t = t.is_up
+
+let set_up t v =
+  t.is_up <- v;
+  if not v then begin
+    (* drain the queue: a failed link loses its in-flight packets *)
+    let rec drain () =
+      match Pkt_queue.dequeue t.queue with None -> () | Some _ -> drain ()
+    in
+    drain ();
+    t.busy <- false
+  end
+
+let utilization t = Dre.utilization t.dre
+let queue t = t.queue
+let rate_bps t = t.rate_bps
+let prop_delay t = t.prop_delay
+let label t = t.label
+let tx_bytes t = t.tx_bytes
+let tx_packets t = t.tx_packets
+let down_drops t = t.down_drops

@@ -1,0 +1,44 @@
+(** Unidirectional link with an egress queue and a DRE utilization
+    estimator.
+
+    A link serializes packets at [rate_bps], then delivers them to the sink
+    after [prop_delay].  The egress queue applies drop-tail and ECN marking.
+    The paired reverse direction is a separate link.  The sink callback is
+    installed at wiring time, which keeps [Link] independent of switches and
+    hosts. *)
+
+type t
+
+val create :
+  sched:Scheduler.t ->
+  rate_bps:float ->
+  prop_delay:Sim_time.span ->
+  ?queue:Pkt_queue.t ->
+  ?label:string ->
+  unit ->
+  t
+
+val set_sink : t -> (Packet.t -> unit) -> unit
+(** Must be called before the first [send]. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue for transmission; silently drops if the queue is full (the drop
+    is counted in the queue statistics). *)
+
+val up : t -> bool
+val set_up : t -> bool -> unit
+(** Taking a link down drops all queued and future packets until it is
+    brought back up — models a link failure. *)
+
+val utilization : t -> float
+(** DRE-estimated utilization of this link's egress. *)
+
+val queue : t -> Pkt_queue.t
+val rate_bps : t -> float
+val prop_delay : t -> Sim_time.span
+val label : t -> string
+val tx_bytes : t -> int
+val tx_packets : t -> int
+
+val down_drops : t -> int
+(** Packets offered to the link while it was down. *)

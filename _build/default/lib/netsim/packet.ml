@@ -1,0 +1,138 @@
+type ecn = Not_ect | Ect | Ce
+
+let pp_ecn fmt = function
+  | Not_ect -> Format.pp_print_string fmt "not-ect"
+  | Ect -> Format.pp_print_string fmt "ect"
+  | Ce -> Format.pp_print_string fmt "ce"
+
+type tcp_kind = Data | Ack
+
+type tcp_seg = {
+  conn_id : int;
+  subflow : int;
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  kind : tcp_kind;
+  payload : int;
+  mutable ece : bool;
+}
+
+type inner = { src : Addr.t; dst : Addr.t; mutable inner_ecn : ecn; seg : tcp_seg }
+
+type clove_feedback =
+  | Fb_ecn of { port : int; congested : bool }
+  | Fb_util of { port : int; util : float }
+  | Fb_latency of { port : int; delay : Sim_time.span }
+
+type flowcell = { flow_key : int; cell_id : int; cell_seq : int }
+
+type conga_md = {
+  src_leaf : int;
+  dst_leaf : int;
+  mutable lbtag : int;
+  mutable ce : float;
+  mutable fb_lbtag : int;
+  mutable fb_ce : float;
+}
+
+type encap = {
+  src_hv : Addr.t;
+  dst_hv : Addr.t;
+  mutable src_port : int;
+  dst_port : int;
+  mutable feedback : clove_feedback option;
+  mutable cell : flowcell option;
+}
+
+type probe_info = {
+  probe_id : int;
+  probe_src : Addr.t;
+  probe_dst : Addr.t;
+  probe_port : int;
+}
+
+type hop = { hop_node : int; hop_port : int }
+
+type probe_reply = {
+  reply_to : Addr.t;
+  reply_probe_id : int;
+  reply_port : int;
+  reply_ttl : int;
+  reply_hop : hop option;
+}
+
+type payload =
+  | Tenant of inner
+  | Probe of probe_info
+  | Probe_reply of probe_reply
+
+type t = {
+  uid : int;
+  mutable size : int;
+  mutable ttl : int;
+  mutable ecn : ecn;
+  mutable encap : encap option;
+  mutable conga : conga_md option;
+  mutable int_enabled : bool;
+  mutable int_util : float;
+  mutable sent_at : Sim_time.t;
+  payload : payload;
+}
+
+let stt_port = 7471
+let inner_header_bytes = 40
+let encap_header_bytes = 58
+let uid_counter = ref 0
+
+let make ?(ttl = 64) ~size payload =
+  incr uid_counter;
+  {
+    uid = !uid_counter;
+    size;
+    ttl;
+    ecn = Not_ect;
+    encap = None;
+    conga = None;
+    int_enabled = false;
+    int_util = 0.0;
+    sent_at = Sim_time.zero;
+    payload;
+  }
+
+let make_tenant ~src ~dst ~(seg : tcp_seg) =
+  let size = seg.payload + inner_header_bytes in
+  make ~size (Tenant { src; dst; inner_ecn = Not_ect; seg })
+
+let tcp_flow_key inner =
+  let s = inner.seg in
+  Hashtbl.hash
+    (Addr.to_int inner.src, Addr.to_int inner.dst, s.src_port, s.dst_port, s.subflow)
+
+let outer_tuple t =
+  match t.encap with
+  | None -> None
+  | Some e -> Some (Addr.to_int e.src_hv, Addr.to_int e.dst_hv, e.src_port, e.dst_port)
+
+let route_dst t =
+  match (t.encap, t.payload) with
+  | Some e, _ -> e.dst_hv
+  | None, Tenant inner -> inner.dst
+  | None, Probe p -> p.probe_dst
+  | None, Probe_reply r -> r.reply_to
+
+let is_probe t = match t.payload with Probe _ -> true | Tenant _ | Probe_reply _ -> false
+
+let pp fmt t =
+  let kind =
+    match t.payload with
+    | Tenant { seg = { kind = Data; _ }; _ } -> "data"
+    | Tenant { seg = { kind = Ack; _ }; _ } -> "ack"
+    | Probe _ -> "probe"
+    | Probe_reply _ -> "probe-reply"
+  in
+  Format.fprintf fmt "#%d %s %dB ttl=%d ecn=%a dst=%a" t.uid kind t.size t.ttl pp_ecn
+    t.ecn Addr.pp (route_dst t)
+
+let reset_uid_counter_for_tests () = uid_counter := 0

@@ -1,0 +1,144 @@
+(** Packets and header formats.
+
+    A packet models a tenant TCP segment optionally wrapped in an STT-like
+    encapsulation header (as used by Clove), plus the metadata fields that
+    the different load-balancing schemes read and write:
+
+    - the outer IP ECN codepoint marked by fabric switches;
+    - Clove feedback carried in "reserved context bits" of the
+      encapsulation header (source port + congestion bit, or utilization);
+    - a Presto flowcell tag (flow key, cell id, per-flow packet sequence);
+    - CONGA metadata (lbtag, CE metric, piggybacked feedback);
+    - an INT max-utilization field stamped by INT-capable switches.
+
+    Traceroute probes and their replies (ICMP time-exceeded, or the
+    destination hypervisor's echo) are separate payload constructors. *)
+
+type ecn = Not_ect | Ect | Ce
+
+val pp_ecn : Format.formatter -> ecn -> unit
+
+(** Simplified TCP segment kinds: persistent connections are established out
+    of band, so there is no handshake. *)
+type tcp_kind = Data | Ack
+
+type tcp_seg = {
+  conn_id : int;  (** global connection identifier *)
+  subflow : int;  (** MPTCP subflow index; 0 for plain TCP *)
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** first payload byte (Data) *)
+  ack : int;  (** cumulative ack: next expected byte (Ack) *)
+  kind : tcp_kind;
+  payload : int;  (** payload bytes carried *)
+  mutable ece : bool;  (** ECN-echo from receiver to sender *)
+}
+
+(** The tenant packet as emitted by the guest VM network stack. *)
+type inner = {
+  src : Addr.t;
+  dst : Addr.t;
+  mutable inner_ecn : ecn;  (** ECN as seen by the guest stack *)
+  seg : tcp_seg;
+}
+
+(** Clove feedback relayed in encapsulation context bits (Section 4 of the
+    paper): which outer source port the destination saw, and either a binary
+    congestion flag (Clove-ECN) or the maximum path utilization
+    (Clove-INT). *)
+type clove_feedback =
+  | Fb_ecn of { port : int; congested : bool }
+  | Fb_util of { port : int; util : float }
+  | Fb_latency of { port : int; delay : Sim_time.span }
+      (** one-way path delay measured with NIC timestamping and synchronized
+          hypervisor clocks (Section 7, "Use of path latency") *)
+
+type flowcell = {
+  flow_key : int;  (** hash of the inner 5-tuple *)
+  cell_id : int;  (** monotonically increasing flowcell number *)
+  cell_seq : int;  (** packet index within the flow, for reassembly order *)
+}
+
+(** CONGA metadata as carried in its VXLAN-style overlay. *)
+type conga_md = {
+  src_leaf : int;
+  dst_leaf : int;
+  mutable lbtag : int;  (** uplink chosen by the source leaf *)
+  mutable ce : float;  (** max utilization seen along the path *)
+  mutable fb_lbtag : int;  (** feedback: which uplink the metric is for; -1 = none *)
+  mutable fb_ce : float;
+}
+
+(** STT-like encapsulation header added by the source hypervisor. *)
+type encap = {
+  src_hv : Addr.t;
+  dst_hv : Addr.t;
+  mutable src_port : int;  (** the field Clove manipulates *)
+  dst_port : int;  (** fixed STT destination port *)
+  mutable feedback : clove_feedback option;  (** context bits *)
+  mutable cell : flowcell option;  (** Presto tag *)
+}
+
+type probe_info = {
+  probe_id : int;
+  probe_src : Addr.t;
+  probe_dst : Addr.t;
+  probe_port : int;  (** encapsulation source port being traced *)
+}
+
+(** Identity of a traversed switch interface, as revealed by ICMP
+    time-exceeded messages: (node id, ingress port). *)
+type hop = { hop_node : int; hop_port : int }
+
+type probe_reply = {
+  reply_to : Addr.t;
+  reply_probe_id : int;
+  reply_port : int;
+  reply_ttl : int;  (** the TTL the probe was sent with *)
+  reply_hop : hop option;  (** [None] when the destination host answered *)
+}
+
+type payload =
+  | Tenant of inner
+  | Probe of probe_info
+  | Probe_reply of probe_reply
+
+type t = {
+  uid : int;
+  mutable size : int;  (** wire size in bytes, for link occupancy *)
+  mutable ttl : int;
+  mutable ecn : ecn;  (** outer IP ECN codepoint (fabric-visible) *)
+  mutable encap : encap option;
+  mutable conga : conga_md option;
+  mutable int_enabled : bool;
+  mutable int_util : float;  (** max egress utilization along the path *)
+  mutable sent_at : Sim_time.t;  (** set when first transmitted *)
+  payload : payload;
+}
+
+val stt_port : int
+(** The fixed encapsulation destination port (STT). *)
+
+val inner_header_bytes : int
+val encap_header_bytes : int
+val make : ?ttl:int -> size:int -> payload -> t
+(** Allocates a packet with a fresh [uid]; [size] is the wire size. *)
+
+val make_tenant :
+  src:Addr.t -> dst:Addr.t -> seg:tcp_seg -> t
+(** Wire size is computed from the segment payload + inner headers. *)
+
+val tcp_flow_key : inner -> int
+(** Deterministic hash of the inner 5-tuple (src, dst, ports, subflow). *)
+
+val outer_tuple : t -> (int * int * int * int) option
+(** (src_hv, dst_hv, src_port, dst_port) of the encapsulation header. *)
+
+val route_dst : t -> Addr.t
+(** The address fabric switches route on: the outer destination if
+    encapsulated, the inner destination otherwise; probe replies are routed
+    to [reply_to]. *)
+
+val is_probe : t -> bool
+val pp : Format.formatter -> t -> unit
+val reset_uid_counter_for_tests : unit -> unit

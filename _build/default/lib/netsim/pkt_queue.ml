@@ -1,0 +1,68 @@
+type stats = { enqueued : int; dropped : int; marked : int; max_occupancy : int }
+
+type t = {
+  q : Packet.t Queue.t;
+  capacity : int;
+  mutable ecn_threshold : int;
+  mutable bytes : int;
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable marked : int;
+  mutable max_occupancy : int;
+}
+
+let create ?(capacity_pkts = 256) ?(ecn_threshold_pkts = 20) () =
+  if capacity_pkts < 1 then invalid_arg "Pkt_queue.create: capacity < 1";
+  {
+    q = Queue.create ();
+    capacity = capacity_pkts;
+    ecn_threshold = ecn_threshold_pkts;
+    bytes = 0;
+    enqueued = 0;
+    dropped = 0;
+    marked = 0;
+    max_occupancy = 0;
+  }
+
+let length t = Queue.length t.q
+let byte_length t = t.bytes
+let is_empty t = Queue.is_empty t.q
+
+let enqueue t pkt =
+  if Queue.length t.q >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    (* DCTCP-style instantaneous marking: mark if occupancy after enqueue
+       exceeds the threshold *)
+    (if t.ecn_threshold > 0 && Queue.length t.q + 1 > t.ecn_threshold then
+       match pkt.Packet.ecn with
+       | Packet.Ect ->
+         pkt.Packet.ecn <- Packet.Ce;
+         t.marked <- t.marked + 1
+       | Packet.Ce | Packet.Not_ect -> ());
+    Queue.add pkt t.q;
+    t.bytes <- t.bytes + pkt.Packet.size;
+    t.enqueued <- t.enqueued + 1;
+    if Queue.length t.q > t.max_occupancy then t.max_occupancy <- Queue.length t.q;
+    true
+  end
+
+let dequeue t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some pkt ->
+    t.bytes <- t.bytes - pkt.Packet.size;
+    Some pkt
+
+let stats t =
+  {
+    enqueued = t.enqueued;
+    dropped = t.dropped;
+    marked = t.marked;
+    max_occupancy = t.max_occupancy;
+  }
+
+let set_ecn_threshold t thr = t.ecn_threshold <- thr
+let capacity t = t.capacity

@@ -1,0 +1,32 @@
+(** Drop-tail FIFO egress queue with ECN marking.
+
+    Queues are sized in packets and mark the Congestion Experienced
+    codepoint on enqueue when the instantaneous occupancy reaches the
+    configured marking threshold (DCTCP-style marking, the rule Clove-ECN
+    relies on).  Only ECN-capable (ECT) packets are marked; others pass
+    unmarked but still experience the queueing. *)
+
+type t
+
+type stats = {
+  enqueued : int;
+  dropped : int;
+  marked : int;
+  max_occupancy : int;
+}
+
+val create : ?capacity_pkts:int -> ?ecn_threshold_pkts:int -> unit -> t
+(** Defaults: capacity 256 packets, ECN threshold 20 packets (the paper's
+    recommended setting).  An [ecn_threshold_pkts] of 0 or less disables
+    marking. *)
+
+val enqueue : t -> Packet.t -> bool
+(** [false] if the packet was dropped (queue full). Marks CE as needed. *)
+
+val dequeue : t -> Packet.t option
+val length : t -> int
+val byte_length : t -> int
+val is_empty : t -> bool
+val stats : t -> stats
+val set_ecn_threshold : t -> int -> unit
+val capacity : t -> int

@@ -1,0 +1,39 @@
+let distances topo ~dst =
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist dst 0;
+  let q = Queue.create () in
+  Queue.add dst q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    (* packets are never relayed through a host other than the endpoints *)
+    if u = dst || not (Topology.is_host topo u) then begin
+      let du = Hashtbl.find dist u in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (du + 1);
+            Queue.add v q
+          end)
+        (Topology.live_neighbors topo u)
+    end
+  done;
+  dist
+
+let next_hops topo ~dst =
+  let dist = distances topo ~dst in
+  let result = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun u du ->
+      if u <> dst then begin
+        let hops =
+          List.filter
+            (fun v ->
+              match Hashtbl.find_opt dist v with
+              | Some dv -> dv = du - 1
+              | None -> false)
+            (Topology.live_neighbors topo u)
+        in
+        if hops <> [] then Hashtbl.replace result u hops
+      end)
+    dist;
+  result

@@ -1,0 +1,169 @@
+type level = Leaf | Spine | Core_sw
+
+type port = { link : Link.t; peer : int; parallel_index : int }
+
+type t = {
+  sched : Scheduler.t;
+  id : int;
+  level : level;
+  ecmp_seed : int;
+  latency : Sim_time.span;
+  index_preserving : bool;
+  mutable int_capable : bool;
+  mutable ports : port array;
+  mutable nports : int;
+  routes : (Addr.t, int array) Hashtbl.t;
+  mutable picker : picker option;
+  mutable rx_hook : (t -> in_port:int -> Packet.t -> unit) option;
+  mutable tx_hook : (t -> port:int -> Packet.t -> unit) option;
+  mutable rx_packets : int;
+  mutable routing_drops : int;
+  mutable ttl_drops : int;
+}
+
+and picker = t -> in_port:int -> Packet.t -> candidates:int array -> int
+
+let dummy_port = Obj.magic 0
+
+let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
+    ?(index_preserving = false) ?(int_capable = false) () =
+  {
+    sched;
+    id;
+    level;
+    ecmp_seed;
+    latency;
+    index_preserving;
+    int_capable;
+    ports = Array.make 8 dummy_port;
+    nports = 0;
+    routes = Hashtbl.create 64;
+    picker = None;
+    rx_hook = None;
+    tx_hook = None;
+    rx_packets = 0;
+    routing_drops = 0;
+    ttl_drops = 0;
+  }
+
+let id t = t.id
+let level t = t.level
+let sched t = t.sched
+
+let add_port t ~link ~peer ~parallel_index =
+  if t.nports = Array.length t.ports then begin
+    let ports = Array.make (2 * t.nports) dummy_port in
+    Array.blit t.ports 0 ports 0 t.nports;
+    t.ports <- ports
+  end;
+  t.ports.(t.nports) <- { link; peer; parallel_index };
+  t.nports <- t.nports + 1;
+  t.nports - 1
+
+let port_count t = t.nports
+
+let check_port t p =
+  if p < 0 || p >= t.nports then invalid_arg "Switch: bad port id"
+
+let port_link t p =
+  check_port t p;
+  t.ports.(p).link
+
+let port_peer t p =
+  check_port t p;
+  t.ports.(p).peer
+
+let port_parallel_index t p =
+  check_port t p;
+  t.ports.(p).parallel_index
+
+let ports_to_peer t ~peer =
+  let acc = ref [] in
+  for p = t.nports - 1 downto 0 do
+    if t.ports.(p).peer = peer then acc := p :: !acc
+  done;
+  !acc
+
+let set_routes t addr ports = Hashtbl.replace t.routes addr ports
+let routes t addr = Hashtbl.find_opt t.routes addr
+let clear_routes t = Hashtbl.reset t.routes
+let set_picker t p = t.picker <- Some p
+let clear_picker t = t.picker <- None
+let set_rx_hook t h = t.rx_hook <- Some h
+let set_tx_hook t h = t.tx_hook <- Some h
+let set_int_capable t v = t.int_capable <- v
+let int_capable t = t.int_capable
+let rx_packets t = t.rx_packets
+let routing_drops t = t.routing_drops
+let ttl_drops t = t.ttl_drops
+
+let all_same_peer t candidates =
+  let n = Array.length candidates in
+  let peer = t.ports.(candidates.(0)).peer in
+  let rec go i = i >= n || (t.ports.(candidates.(i)).peer = peer && go (i + 1)) in
+  go 1
+
+let default_pick t ~in_port pkt ~candidates =
+  let n = Array.length candidates in
+  if n = 1 then candidates.(0)
+  else if
+    t.index_preserving && in_port >= 0 && t.level = Spine
+    && all_same_peer t candidates
+  then
+    (* the testbed's deterministic spine wiring: traffic received on the
+       i-th parallel link from a leaf leaves on the i-th parallel link of
+       the bundle toward the next leaf, making leaf-to-leaf paths disjoint.
+       Only applies to parallel bundles (all candidates to one peer) — on
+       topologies like fat-trees the candidates are distinct switches and
+       normal ECMP hashing applies. *)
+    candidates.(t.ports.(in_port).parallel_index mod n)
+  else candidates.(Ecmp_hash.select ~seed:t.ecmp_seed pkt ~n)
+
+let answer_ttl_expired t ~in_port pkt =
+  match pkt.Packet.payload with
+  | Packet.Probe p ->
+    let reply =
+      Packet.make ~size:64
+        (Packet.Probe_reply
+           {
+             Packet.reply_to = p.Packet.probe_src;
+             reply_probe_id = p.Packet.probe_id;
+             reply_port = p.Packet.probe_port;
+             reply_ttl = 0;
+             reply_hop = Some { Packet.hop_node = t.id; hop_port = in_port };
+           })
+    in
+    Some reply
+  | Packet.Tenant _ | Packet.Probe_reply _ -> None
+
+let forward t ~in_port pkt =
+  let dst = Packet.route_dst pkt in
+  match Hashtbl.find_opt t.routes dst with
+  | None | Some [||] -> t.routing_drops <- t.routing_drops + 1
+  | Some candidates ->
+    let port =
+      match t.picker with
+      | Some pick -> pick t ~in_port pkt ~candidates
+      | None -> default_pick t ~in_port pkt ~candidates
+    in
+    (match t.tx_hook with Some h -> h t ~port pkt | None -> ());
+    let link = t.ports.(port).link in
+    if t.int_capable && pkt.Packet.int_enabled then
+      pkt.Packet.int_util <- Float.max pkt.Packet.int_util (Link.utilization link);
+    Link.send link pkt
+
+let receive t ~in_port pkt =
+  t.rx_packets <- t.rx_packets + 1;
+  (match t.rx_hook with Some h -> h t ~in_port pkt | None -> ());
+  pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+  if pkt.Packet.ttl <= 0 then begin
+    t.ttl_drops <- t.ttl_drops + 1;
+    match answer_ttl_expired t ~in_port pkt with
+    | None -> ()
+    | Some reply ->
+      ignore
+        (Scheduler.schedule t.sched ~after:t.latency (fun () ->
+             forward t ~in_port:(-1) reply))
+  end
+  else
+    ignore (Scheduler.schedule t.sched ~after:t.latency (fun () -> forward t ~in_port pkt))

@@ -1,0 +1,70 @@
+type sample = {
+  at : Sim_time.t;
+  utilization : float;
+  queue_pkts : int;
+  drops : int;
+  marks : int;
+}
+
+type watched = { link : Link.t; mutable samples : sample list (* newest first *) }
+
+type t = {
+  table : (string, watched) Hashtbl.t;
+  order : string list;
+  mutable running : bool;
+}
+
+let take sched w =
+  let stats = Pkt_queue.stats (Link.queue w.link) in
+  let s =
+    {
+      at = Scheduler.now sched;
+      utilization = Link.utilization w.link;
+      queue_pkts = Pkt_queue.length (Link.queue w.link);
+      drops = stats.Pkt_queue.dropped;
+      marks = stats.Pkt_queue.marked;
+    }
+  in
+  w.samples <- s :: w.samples
+
+let watch ~sched ~period ~links =
+  if links = [] then invalid_arg "Telemetry.watch: no links";
+  let table = Hashtbl.create 16 in
+  List.iter (fun (name, link) -> Hashtbl.replace table name { link; samples = [] }) links;
+  let t = { table; order = List.map fst links; running = true } in
+  Scheduler.schedule_periodic sched ~every:period (fun () ->
+      if t.running then Hashtbl.iter (fun _ w -> take sched w) table;
+      t.running);
+  t
+
+let stop t = t.running <- false
+
+let series t ~name =
+  match Hashtbl.find_opt t.table name with
+  | Some w -> List.rev w.samples
+  | None -> []
+
+let names t = t.order
+
+let peak_queue t ~name =
+  List.fold_left (fun acc s -> max acc s.queue_pkts) 0 (series t ~name)
+
+let mean_utilization t ~name =
+  match series t ~name with
+  | [] -> nan
+  | samples ->
+    List.fold_left (fun acc s -> acc +. s.utilization) 0.0 samples
+    /. float_of_int (List.length samples)
+
+let pp_summary fmt t =
+  List.iter
+    (fun name ->
+      match List.rev (series t ~name) with
+      | [] -> Format.fprintf fmt "%-24s (no samples)@." name
+      | last :: _ ->
+        Format.fprintf fmt "%-24s util(avg) %.2f  queue(peak) %4d  drops %5d  marks %6d@."
+          name
+          (mean_utilization t ~name)
+          (peak_queue t ~name) last.drops last.marks)
+    t.order
+

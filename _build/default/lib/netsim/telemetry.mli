@@ -1,0 +1,43 @@
+(** Time-series instrumentation of a running fabric.
+
+    A telemetry session samples link utilization (DRE), queue occupancy and
+    cumulative drop counts on a fixed period and keeps the series in
+    memory.  It is how the examples visualize what a load balancer is doing
+    to the fabric, and how experiments assert on transient behaviour
+    (e.g. queue build-up at the degraded spine before Clove's weights
+    adapt).
+
+    Sampling is driven by the simulation scheduler, so it costs nothing
+    between samples and is exactly reproducible. *)
+
+type t
+
+type sample = {
+  at : Sim_time.t;
+  utilization : float;  (** DRE estimate, 0..~1.2 *)
+  queue_pkts : int;
+  drops : int;  (** cumulative tail drops *)
+  marks : int;  (** cumulative ECN marks *)
+}
+
+val watch :
+  sched:Scheduler.t ->
+  period:Sim_time.span ->
+  links:(string * Link.t) list ->
+  t
+(** Start sampling the named links every [period] until [stop]. *)
+
+val stop : t -> unit
+val series : t -> name:string -> sample list
+(** Samples for one watched link, oldest first; empty for unknown names. *)
+
+val names : t -> string list
+
+val peak_queue : t -> name:string -> int
+(** Largest sampled occupancy. *)
+
+val mean_utilization : t -> name:string -> float
+(** Average of the sampled utilization values; [nan] if no samples. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per link: mean utilization, peak queue, drops, marks. *)

@@ -1,0 +1,167 @@
+type node = Host_node of int | Switch_node of Switch.level * int
+
+type edge = {
+  edge_id : int;
+  a : int;
+  b : int;
+  rate_bps : float;
+  delay : Sim_time.span;
+  bundle_index : int;
+  mutable failed : bool;
+}
+
+type t = {
+  mutable node_list : node list;  (* reversed *)
+  mutable n_nodes : int;
+  mutable edge_list : edge list;  (* reversed *)
+  mutable n_edges : int;
+  incidence : (int, edge list ref) Hashtbl.t;
+}
+
+let create () =
+  { node_list = []; n_nodes = 0; edge_list = []; n_edges = 0; incidence = Hashtbl.create 64 }
+
+let add_node t node =
+  let id = t.n_nodes in
+  t.node_list <- node :: t.node_list;
+  t.n_nodes <- t.n_nodes + 1;
+  Hashtbl.replace t.incidence id (ref []);
+  id
+
+let add_host t =
+  let id = t.n_nodes in
+  add_node t (Host_node id)
+
+let add_switch t level =
+  let id = t.n_nodes in
+  add_node t (Switch_node (level, id))
+
+let incident t id =
+  match Hashtbl.find_opt t.incidence id with
+  | Some r -> r
+  | None -> invalid_arg "Topology: unknown node id"
+
+let connect t a b ~rate_bps ~delay ?(bundle_index = 0) () =
+  if a = b then invalid_arg "Topology.connect: self-loop";
+  let edge =
+    { edge_id = t.n_edges; a; b; rate_bps; delay; bundle_index; failed = false }
+  in
+  t.n_edges <- t.n_edges + 1;
+  t.edge_list <- edge :: t.edge_list;
+  let ra = incident t a and rb = incident t b in
+  ra := edge :: !ra;
+  rb := edge :: !rb;
+  edge
+
+let nodes t = Array.of_list (List.rev t.node_list)
+let node t id =
+  if id < 0 || id >= t.n_nodes then invalid_arg "Topology.node: bad id";
+  List.nth t.node_list (t.n_nodes - 1 - id)
+
+let node_count t = t.n_nodes
+let edges t = List.rev t.edge_list
+let edges_of t id = List.rev !(incident t id)
+
+let live_neighbors t id =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+      if e.failed then None
+      else
+        let peer = if e.a = id then e.b else e.a in
+        if Hashtbl.mem seen peer then None
+        else begin
+          Hashtbl.add seen peer ();
+          Some peer
+        end)
+    (edges_of t id)
+
+let fail_edge _t e = e.failed <- true
+let restore_edge _t e = e.failed <- false
+
+let is_host t id = match node t id with Host_node _ -> true | Switch_node _ -> false
+
+let find_edge t ~a ~b ~bundle_index =
+  List.find_opt
+    (fun e ->
+      ((e.a = a && e.b = b) || (e.a = b && e.b = a)) && e.bundle_index = bundle_index)
+    (edges_of t a)
+
+type fat_tree = {
+  ft_topo : t;
+  ft_hosts : int array array;
+  ft_edges : int array array;
+  ft_aggs : int array array;
+  ft_cores : int array;
+}
+
+type leaf_spine = {
+  topo : t;
+  host_ids : int array array;
+  leaf_ids : int array;
+  spine_ids : int array;
+}
+
+let leaf_spine ~leaves ~spines ~hosts_per_leaf ~parallel ~host_rate_bps ~fabric_rate_bps
+    ~host_delay ~fabric_delay =
+  if leaves < 1 || spines < 1 || hosts_per_leaf < 1 || parallel < 1 then
+    invalid_arg "Topology.leaf_spine: all counts must be positive";
+  let topo = create () in
+  let leaf_ids = Array.init leaves (fun _ -> add_switch topo Switch.Leaf) in
+  let spine_ids = Array.init spines (fun _ -> add_switch topo Switch.Spine) in
+  let host_ids =
+    Array.init leaves (fun leaf ->
+        Array.init hosts_per_leaf (fun _ ->
+            let h = add_host topo in
+            ignore
+              (connect topo h leaf_ids.(leaf) ~rate_bps:host_rate_bps ~delay:host_delay ());
+            h))
+  in
+  Array.iter
+    (fun leaf ->
+      Array.iter
+        (fun spine ->
+          for k = 0 to parallel - 1 do
+            ignore
+              (connect topo leaf spine ~rate_bps:fabric_rate_bps ~delay:fabric_delay
+                 ~bundle_index:k ())
+          done)
+        spine_ids)
+    leaf_ids;
+  { topo; host_ids; leaf_ids; spine_ids }
+
+let fat_tree ~k ~host_rate_bps ~fabric_rate_bps ~host_delay ~fabric_delay =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
+  let topo = create () in
+  let half = k / 2 in
+  let cores = Array.init (half * half) (fun _ -> add_switch topo Switch.Core_sw) in
+  let edges = Array.init k (fun _ -> Array.init half (fun _ -> add_switch topo Switch.Leaf)) in
+  let aggs = Array.init k (fun _ -> Array.init half (fun _ -> add_switch topo Switch.Spine)) in
+  let hosts =
+    Array.init k (fun pod ->
+        Array.concat
+          (List.init half (fun e ->
+               Array.init half (fun _ ->
+                   let h = add_host topo in
+                   ignore
+                     (connect topo h edges.(pod).(e) ~rate_bps:host_rate_bps
+                        ~delay:host_delay ());
+                   h))))
+  in
+  for pod = 0 to k - 1 do
+    (* full bipartite edge <-> agg inside the pod *)
+    Array.iter
+      (fun e ->
+        Array.iter
+          (fun a -> ignore (connect topo e a ~rate_bps:fabric_rate_bps ~delay:fabric_delay ()))
+          aggs.(pod))
+      edges.(pod);
+    (* agg j connects to cores [j*half .. j*half + half - 1] *)
+    Array.iteri
+      (fun j a ->
+        for c = j * half to (j * half) + half - 1 do
+          ignore (connect topo a cores.(c) ~rate_bps:fabric_rate_bps ~delay:fabric_delay ())
+        done)
+      aggs.(pod)
+  done;
+  { ft_topo = topo; ft_hosts = hosts; ft_edges = edges; ft_aggs = aggs; ft_cores = cores }

@@ -1,0 +1,44 @@
+type t = { lo : float; hi : float; bins : float array; mutable total : float }
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  { lo; hi; bins = Array.make bins 0.0; total = 0.0 }
+
+let index t x =
+  let n = Array.length t.bins in
+  let i = int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo)) in
+  if i < 0 then 0 else if i >= n then n - 1 else i
+
+let add ?(weight = 1.0) t x =
+  let i = index t x in
+  t.bins.(i) <- t.bins.(i) +. weight;
+  t.total <- t.total +. weight
+
+let count t = t.total
+let bin_count t = Array.length t.bins
+let bin_value t i = t.bins.(i)
+
+let bin_bounds t i =
+  let n = float_of_int (Array.length t.bins) in
+  let w = (t.hi -. t.lo) /. n in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let fraction_above t x =
+  if t.total = 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to Array.length t.bins - 1 do
+      let lo, _ = bin_bounds t i in
+      if lo >= x then acc := !acc +. t.bins.(i)
+    done;
+    !acc /. t.total
+  end
+
+let pp fmt t =
+  for i = 0 to Array.length t.bins - 1 do
+    if t.bins.(i) > 0.0 then begin
+      let lo, hi = bin_bounds t i in
+      Format.fprintf fmt "[%.3g, %.3g): %.0f@." lo hi t.bins.(i)
+    end
+  done

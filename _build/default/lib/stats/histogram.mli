@@ -1,0 +1,20 @@
+(** Fixed-bin histograms, used for queue-occupancy and utilization reports. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Uniform bins over \[lo, hi); samples outside are clamped to the edge
+    bins.  Raises [Invalid_argument] if [hi <= lo] or [bins < 1]. *)
+
+val add : ?weight:float -> t -> float -> unit
+val count : t -> float
+val bin_count : t -> int
+val bin_value : t -> int -> float
+(** Weight accumulated in bin [i]. *)
+
+val bin_bounds : t -> int -> float * float
+val fraction_above : t -> float -> float
+(** Fraction of total weight in bins whose lower bound is >= the argument. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact text rendering (one line per non-empty bin). *)

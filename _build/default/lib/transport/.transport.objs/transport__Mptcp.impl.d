@@ -1,0 +1,1 @@
+lib/transport/mptcp.ml: Array Float List Queue Sim_time Stack Tcp Tcp_config

@@ -1,0 +1,1 @@
+lib/transport/mptcp.mli: Addr Packet Scheduler Stack Tcp_config

@@ -1,0 +1,1 @@
+lib/transport/stack.ml: Addr Hashtbl List Packet Tcp

@@ -1,0 +1,1 @@
+lib/transport/stack.mli: Addr Packet Tcp

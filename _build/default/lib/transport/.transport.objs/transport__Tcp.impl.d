@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Addr Float Packet Queue Rtt_estimator Scheduler Sim_time Tcp_config

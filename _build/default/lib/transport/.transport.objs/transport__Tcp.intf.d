@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Addr Packet Scheduler Sim_time Tcp_config

@@ -1,0 +1,1 @@
+lib/transport/tcp_config.ml: Sim_time

@@ -1,0 +1,47 @@
+type t = {
+  min_rto : int;
+  max_rto : int;
+  mutable srtt_ns : float;
+  mutable rttvar_ns : float;
+  mutable have_sample : bool;
+  mutable backoff_mult : int;
+}
+
+let create ?(min_rto = Sim_time.ms 10) ?(max_rto = Sim_time.sec 2.0) () =
+  {
+    min_rto = Sim_time.span_ns min_rto;
+    max_rto = Sim_time.span_ns max_rto;
+    srtt_ns = 0.0;
+    rttvar_ns = 0.0;
+    have_sample = false;
+    backoff_mult = 1;
+  }
+
+let sample t rtt =
+  let r = float_of_int (Sim_time.span_ns rtt) in
+  if not t.have_sample then begin
+    t.srtt_ns <- r;
+    t.rttvar_ns <- r /. 2.0;
+    t.have_sample <- true
+  end
+  else begin
+    let beta = 0.25 and alpha = 0.125 in
+    t.rttvar_ns <- ((1.0 -. beta) *. t.rttvar_ns) +. (beta *. abs_float (t.srtt_ns -. r));
+    t.srtt_ns <- ((1.0 -. alpha) *. t.srtt_ns) +. (alpha *. r)
+  end;
+  t.backoff_mult <- 1
+
+let rto t =
+  let base =
+    if not t.have_sample then t.min_rto * 20 (* conservative initial RTO *)
+    else int_of_float (t.srtt_ns +. (4.0 *. t.rttvar_ns))
+  in
+  (* clamp to the floor before backing off, as Linux does: backoff must be
+     observable even when SRTT-derived RTO sits below the minimum *)
+  let scaled = max t.min_rto base * t.backoff_mult in
+  Sim_time.span_of_ns (min t.max_rto scaled)
+
+let srtt t = if t.have_sample then Some (Sim_time.span_of_ns (int_of_float t.srtt_ns)) else None
+
+let backoff t = t.backoff_mult <- min (t.backoff_mult * 2) 64
+let reset_backoff t = t.backoff_mult <- 1

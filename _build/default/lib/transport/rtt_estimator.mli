@@ -1,0 +1,23 @@
+(** RFC 6298-style smoothed RTT estimation and retransmission timeout.
+
+    SRTT and RTTVAR follow the standard EWMA update; the RTO is clamped to
+    [min_rto, max_rto] and doubles on backoff. *)
+
+type t
+
+val create : ?min_rto:Sim_time.span -> ?max_rto:Sim_time.span -> unit -> t
+(** Defaults: min 10 ms (datacenter testbed setting), max 2 s. *)
+
+val sample : t -> Sim_time.span -> unit
+(** Feed a new RTT measurement; resets any backoff. *)
+
+val rto : t -> Sim_time.span
+(** Current timeout, including backoff. *)
+
+val srtt : t -> Sim_time.span option
+(** [None] until the first sample. *)
+
+val backoff : t -> unit
+(** Exponential backoff after a timeout (doubles RTO up to the max). *)
+
+val reset_backoff : t -> unit

@@ -1,0 +1,46 @@
+type t = {
+  senders : (int * int, Tcp.sender) Hashtbl.t;
+  receivers : (int * int, Tcp.receiver) Hashtbl.t;
+  by_dst : (int, Tcp.sender list ref) Hashtbl.t;
+  mutable unknown : int;
+}
+
+let create () =
+  {
+    senders = Hashtbl.create 32;
+    receivers = Hashtbl.create 32;
+    by_dst = Hashtbl.create 8;
+    unknown = 0;
+  }
+
+let register_sender t s =
+  Hashtbl.replace t.senders (Tcp.conn_id s, Tcp.subflow_id s) s;
+  let key = Addr.to_int (Tcp.dst s) in
+  match Hashtbl.find_opt t.by_dst key with
+  | Some r -> r := s :: !r
+  | None -> Hashtbl.replace t.by_dst key (ref [ s ])
+
+let register_receiver t r =
+  Hashtbl.replace t.receivers (Tcp.conn_id_r r, Tcp.subflow_id_r r) r
+
+let deliver t (inner : Packet.inner) =
+  let seg = inner.Packet.seg in
+  let key = (seg.Packet.conn_id, seg.Packet.subflow) in
+  match seg.Packet.kind with
+  | Packet.Data -> (
+    match Hashtbl.find_opt t.receivers key with
+    | Some r -> Tcp.on_data r inner
+    | None -> t.unknown <- t.unknown + 1)
+  | Packet.Ack -> (
+    match Hashtbl.find_opt t.senders key with
+    | Some s -> Tcp.on_ack s seg
+    | None -> t.unknown <- t.unknown + 1)
+
+let ecn_signal_all t ~dst =
+  match Hashtbl.find_opt t.by_dst (Addr.to_int dst) with
+  | Some r -> List.iter Tcp.ecn_signal !r
+  | None -> ()
+
+let senders t = Hashtbl.fold (fun _ s acc -> s :: acc) t.senders []
+let unknown_drops t = t.unknown
+let stop_all t = Hashtbl.iter (fun _ s -> Tcp.stop s) t.senders

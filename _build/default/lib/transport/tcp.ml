@@ -1,0 +1,461 @@
+type job = { end_seq : int; on_complete : unit -> unit }
+
+type sender = {
+  sched : Scheduler.t;
+  cfg : Tcp_config.t;
+  conn_id : int;
+  subflow : int;
+  src : Addr.t;
+  dst : Addr.t;
+  src_port : int;
+  dst_port : int;
+  tx : Packet.t -> unit;
+  jobs : job Queue.t;
+  rtt : Rtt_estimator.t;
+  mutable snd_una : int;
+  mutable snd_next : int;
+  mutable stream_end : int;
+  mutable cwnd : float; (* packets *)
+  mutable ssthresh : float; (* packets *)
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable rto_handle : Scheduler.handle option;
+  mutable tlp_handle : Scheduler.handle option;
+  mutable tlp_fired : bool; (* one probe per flight *)
+  mutable rtt_probe : (int * Sim_time.t) option;
+  mutable last_ecn_cut : Sim_time.t;
+  mutable ever_cut : bool;
+  (* DCTCP state: fraction of marked bytes over the last window *)
+  mutable dctcp_alpha : float;
+  mutable dctcp_acked : int;
+  mutable dctcp_marked : int;
+  mutable dctcp_window_end : int;
+  mutable min_rtt_ns : float; (* lowest raw sample seen; HyStart baseline *)
+  mutable pull : (unit -> int) option;
+  mutable ca_increase : (unit -> float) option;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable stopped : bool;
+  mutable on_acked : (int -> unit) option;
+  mutable on_timeout : (unit -> unit) option;
+}
+
+let create_sender ~sched ~cfg ~conn_id ?(subflow = 0) ~src ~dst ~src_port ~dst_port ~tx
+    () =
+  {
+    sched;
+    cfg;
+    conn_id;
+    subflow;
+    src;
+    dst;
+    src_port;
+    dst_port;
+    tx;
+    jobs = Queue.create ();
+    rtt = Rtt_estimator.create ~min_rto:cfg.Tcp_config.min_rto ~max_rto:cfg.Tcp_config.max_rto ();
+    snd_una = 0;
+    snd_next = 0;
+    stream_end = 0;
+    cwnd = cfg.Tcp_config.init_cwnd_pkts;
+    ssthresh = 1e9;
+    dup_acks = 0;
+    in_recovery = false;
+    recover = 0;
+    rto_handle = None;
+    tlp_handle = None;
+    tlp_fired = false;
+    rtt_probe = None;
+    last_ecn_cut = Sim_time.zero;
+    ever_cut = false;
+    dctcp_alpha = 1.0;
+    dctcp_acked = 0;
+    dctcp_marked = 0;
+    dctcp_window_end = 0;
+    min_rtt_ns = infinity;
+    pull = None;
+    ca_increase = None;
+    retransmits = 0;
+    timeouts = 0;
+    stopped = false;
+    on_acked = None;
+    on_timeout = None;
+  }
+
+let set_pull s f = s.pull <- Some f
+let set_ca_increase s f = s.ca_increase <- Some f
+let cwnd_pkts s = s.cwnd
+let srtt s = Rtt_estimator.srtt s.rtt
+let flight_bytes s = s.snd_next - s.snd_una
+let snd_una s = s.snd_una
+let snd_next s = s.snd_next
+let stream_end s = s.stream_end
+let retransmits s = s.retransmits
+let timeouts s = s.timeouts
+let conn_id s = s.conn_id
+let subflow_id s = s.subflow
+let dst s = s.dst
+let set_on_acked s f = s.on_acked <- Some f
+let set_on_timeout s f = s.on_timeout <- Some f
+
+let mss s = s.cfg.Tcp_config.mss
+let cwnd_bytes s = int_of_float (s.cwnd *. float_of_int (mss s))
+
+let cancel_rto s =
+  match s.rto_handle with
+  | Some h ->
+    Scheduler.cancel h;
+    s.rto_handle <- None
+  | None -> ()
+
+let cancel_tlp s =
+  match s.tlp_handle with
+  | Some h ->
+    Scheduler.cancel h;
+    s.tlp_handle <- None
+  | None -> ()
+
+let stop s =
+  s.stopped <- true;
+  cancel_rto s;
+  cancel_tlp s
+
+let emit_data s ~seq ~payload =
+  let seg =
+    {
+      Packet.conn_id = s.conn_id;
+      subflow = s.subflow;
+      src_port = s.src_port;
+      dst_port = s.dst_port;
+      seq;
+      ack = 0;
+      kind = Packet.Data;
+      payload;
+      ece = false;
+    }
+  in
+  s.tx (Packet.make_tenant ~src:s.src ~dst:s.dst ~seg)
+
+let rec arm_rto s =
+  cancel_rto s;
+  if flight_bytes s > 0 && not s.stopped then begin
+    s.rto_handle <-
+      Some (Scheduler.schedule s.sched ~after:(Rtt_estimator.rto s.rtt) (fun () -> on_rto s));
+    arm_tlp s
+  end
+
+and arm_tlp s =
+  (* tail loss probe (Linux since 3.10): if no ACK arrives for ~2 SRTT,
+     retransmit the last unacked segment; a lost flight tail then recovers
+     via dupacks/cumulative ACK instead of a full RTO *)
+  if (not s.tlp_fired) && s.tlp_handle = None && not s.in_recovery then begin
+    let pto =
+      match Rtt_estimator.srtt s.rtt with
+      | Some srtt -> Sim_time.add_span (Sim_time.mul_span srtt 2.0) (Sim_time.us 100)
+      | None -> Sim_time.ms 1
+    in
+    s.tlp_handle <- Some (Scheduler.schedule s.sched ~after:pto (fun () -> on_tlp s))
+  end
+
+and on_tlp s =
+  s.tlp_handle <- None;
+  if flight_bytes s > 0 && (not s.stopped) && not s.in_recovery then begin
+    s.tlp_fired <- true;
+    let seq = max s.snd_una (s.snd_next - mss s) in
+    let payload = min (mss s) (s.stream_end - seq) in
+    if payload > 0 then begin
+      s.retransmits <- s.retransmits + 1;
+      s.rtt_probe <- None;
+      emit_data s ~seq ~payload
+    end
+  end
+
+and on_rto s =
+  s.rto_handle <- None;
+  if flight_bytes s > 0 && not s.stopped then begin
+    s.timeouts <- s.timeouts + 1;
+    cancel_tlp s;
+    s.tlp_fired <- false;
+    Rtt_estimator.backoff s.rtt;
+    let flight_pkts = float_of_int (flight_bytes s) /. float_of_int (mss s) in
+    s.ssthresh <- Float.max (flight_pkts /. 2.0) 2.0;
+    s.cwnd <- 1.0;
+    s.in_recovery <- false;
+    s.dup_acks <- 0;
+    s.rtt_probe <- None;
+    (* go-back-N: rewind and retransmit from the oldest unacked byte *)
+    s.snd_next <- s.snd_una;
+    s.retransmits <- s.retransmits + 1;
+    let payload = min (mss s) (s.stream_end - s.snd_una) in
+    if payload > 0 then begin
+      emit_data s ~seq:s.snd_una ~payload;
+      s.snd_next <- s.snd_una + payload
+    end;
+    arm_rto s;
+    match s.on_timeout with Some f -> f () | None -> ()
+  end
+
+let retransmit_hole s =
+  let payload = min (mss s) (s.stream_end - s.snd_una) in
+  if payload > 0 then begin
+    s.retransmits <- s.retransmits + 1;
+    s.rtt_probe <- None;
+    emit_data s ~seq:s.snd_una ~payload
+  end
+
+let rec try_send s =
+  if s.stopped then ()
+  else begin
+    (* extend the stream from the MPTCP scheduler if we have window room *)
+    (if s.snd_next >= s.stream_end then
+       match s.pull with
+       | Some pull when s.snd_next - s.snd_una < cwnd_bytes s ->
+         let granted = pull () in
+         if granted > 0 then s.stream_end <- s.stream_end + granted
+       | _ -> ());
+    if s.snd_next < s.stream_end && s.snd_next - s.snd_una < cwnd_bytes s then begin
+      let payload = min (mss s) (s.stream_end - s.snd_next) in
+      emit_data s ~seq:s.snd_next ~payload;
+      if s.rtt_probe = None then
+        s.rtt_probe <- Some (s.snd_next + payload, Scheduler.now s.sched);
+      s.snd_next <- s.snd_next + payload;
+      if s.rto_handle = None then arm_rto s;
+      try_send s
+    end
+  end
+
+let send s ~bytes ~on_complete =
+  if bytes <= 0 then invalid_arg "Tcp.send: bytes must be positive";
+  s.stream_end <- s.stream_end + bytes;
+  Queue.add { end_seq = s.stream_end; on_complete } s.jobs;
+  try_send s
+
+let complete_jobs s =
+  let rec loop () =
+    match Queue.peek_opt s.jobs with
+    | Some job when job.end_seq <= s.snd_una ->
+      ignore (Queue.pop s.jobs);
+      job.on_complete ();
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let window_cut s =
+  (* at most one multiplicative decrease per RTT, RFC 3168 style; DCTCP
+     scales the decrease by the marked fraction instead of halving *)
+  let now = Scheduler.now s.sched in
+  let guard =
+    match Rtt_estimator.srtt s.rtt with
+    | Some rtt -> rtt
+    | None -> Sim_time.us 100
+  in
+  if (not s.ever_cut) || Sim_time.(now >= add s.last_ecn_cut guard) then begin
+    s.ever_cut <- true;
+    s.last_ecn_cut <- now;
+    let factor =
+      if s.cfg.Tcp_config.dctcp then 1.0 -. (s.dctcp_alpha /. 2.0) else 0.5
+    in
+    s.ssthresh <- Float.max (s.cwnd *. factor) 2.0;
+    s.cwnd <- s.ssthresh
+  end
+
+let dctcp_account s ~acked_bytes ~ece =
+  if s.cfg.Tcp_config.dctcp then begin
+    s.dctcp_acked <- s.dctcp_acked + acked_bytes;
+    if ece then s.dctcp_marked <- s.dctcp_marked + acked_bytes;
+    if s.snd_una >= s.dctcp_window_end && s.dctcp_acked > 0 then begin
+      let f = float_of_int s.dctcp_marked /. float_of_int s.dctcp_acked in
+      let g = s.cfg.Tcp_config.dctcp_g in
+      s.dctcp_alpha <- ((1.0 -. g) *. s.dctcp_alpha) +. (g *. f);
+      s.dctcp_acked <- 0;
+      s.dctcp_marked <- 0;
+      s.dctcp_window_end <- s.snd_next
+    end
+  end
+
+let ecn_signal s = if s.cfg.Tcp_config.respond_to_ecn then window_cut s
+
+let grow_window s ~acked_bytes =
+  let acked_pkts = float_of_int acked_bytes /. float_of_int (mss s) in
+  if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd +. acked_pkts (* slow start *)
+  else
+    let inc =
+      match s.ca_increase with
+      | Some f -> f () *. acked_pkts
+      | None -> acked_pkts /. s.cwnd
+    in
+    s.cwnd <- s.cwnd +. inc
+
+let on_ack s (seg : Packet.tcp_seg) =
+  if s.stopped then ()
+  else begin
+    if seg.Packet.ece then ecn_signal s;
+    let ack = seg.Packet.ack in
+    if ack > s.snd_una then begin
+      let acked_bytes = ack - s.snd_una in
+      dctcp_account s ~acked_bytes ~ece:seg.Packet.ece;
+      (match s.rtt_probe with
+      | Some (pseq, t0) when ack >= pseq ->
+        let sample = Sim_time.diff (Scheduler.now s.sched) t0 in
+        Rtt_estimator.sample s.rtt sample;
+        let ns = float_of_int (Sim_time.span_ns sample) in
+        if ns < s.min_rtt_ns then s.min_rtt_ns <- ns;
+        (* HyStart-style delay increase detection: leave slow start when
+           queueing inflates the RTT, instead of overshooting until loss *)
+        if
+          s.cwnd < s.ssthresh && s.cwnd > 16.0
+          && Float.is_finite s.min_rtt_ns
+          && ns > s.min_rtt_ns *. 1.5
+        then s.ssthresh <- s.cwnd;
+        s.rtt_probe <- None
+      | _ -> ());
+      s.snd_una <- ack;
+      s.dup_acks <- 0;
+      if s.in_recovery then begin
+        if ack >= s.recover then begin
+          s.in_recovery <- false;
+          s.cwnd <- s.ssthresh
+        end
+        else
+          (* NewReno partial ACK: the next hole is lost too *)
+          retransmit_hole s
+      end
+      else grow_window s ~acked_bytes;
+      (match s.on_acked with Some f -> f acked_bytes | None -> ());
+      complete_jobs s;
+      cancel_tlp s;
+      s.tlp_fired <- false;
+      if flight_bytes s = 0 then cancel_rto s else arm_rto s;
+      try_send s
+    end
+    else if flight_bytes s > 0 then begin
+      s.dup_acks <- s.dup_acks + 1;
+      (* RFC 5827 early retransmit: with a small flight there can never be
+         enough duplicate ACKs, so lower the threshold to flight-1 *)
+      let flight_pkts = (flight_bytes s + mss s - 1) / mss s in
+      let threshold =
+        min s.cfg.Tcp_config.dupack_threshold (max 1 (flight_pkts - 1))
+      in
+      if s.dup_acks >= threshold && not s.in_recovery then begin
+        let flight_pkts = float_of_int (flight_bytes s) /. float_of_int (mss s) in
+        s.ssthresh <- Float.max (flight_pkts /. 2.0) 2.0;
+        s.in_recovery <- true;
+        s.recover <- s.snd_next;
+        retransmit_hole s;
+        s.cwnd <- s.ssthresh +. 3.0
+      end
+      else if s.in_recovery then begin
+        (* window inflation per additional dupack *)
+        s.cwnd <- s.cwnd +. 1.0;
+        try_send s
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type receiver = {
+  r_sched : Scheduler.t;
+  r_cfg : Tcp_config.t;
+  r_conn_id : int;
+  r_subflow : int;
+  r_addr : Addr.t;
+  r_peer : Addr.t;
+  r_src_port : int;
+  r_dst_port : int;
+  r_tx : Packet.t -> unit;
+  mutable rcv_next : int;
+  mutable ooo : (int * int) list; (* disjoint sorted intervals above rcv_next *)
+  mutable delivered : int;
+  mutable ooo_count : int;
+}
+
+let create_receiver ~sched ~cfg ~conn_id ?(subflow = 0) ~addr ~peer ~src_port ~dst_port
+    ~tx () =
+  {
+    r_sched = sched;
+    r_cfg = cfg;
+    r_conn_id = conn_id;
+    r_subflow = subflow;
+    r_addr = addr;
+    r_peer = peer;
+    r_src_port = src_port;
+    r_dst_port = dst_port;
+    r_tx = tx;
+    rcv_next = 0;
+    ooo = [];
+    delivered = 0;
+    ooo_count = 0;
+  }
+
+let conn_id_r r = r.r_conn_id
+let subflow_id_r r = r.r_subflow
+let rcv_next r = r.rcv_next
+let delivered_bytes r = r.delivered
+let ooo_segments r = r.ooo_count
+
+let insert_interval intervals (lo, hi) =
+  (* insert and coalesce; list stays sorted by lo *)
+  let rec go = function
+    | [] -> [ (lo, hi) ]
+    | (a, b) :: rest when hi < a -> (lo, hi) :: (a, b) :: rest
+    | (a, b) :: rest when b < lo -> (a, b) :: go rest
+    | (a, b) :: rest ->
+      (* overlap: merge and keep folding into the remainder *)
+      let merged = (min a lo, max b hi) in
+      let rec fold (x, y) = function
+        | (c, d) :: more when c <= y -> fold (x, max y d) more
+        | more -> (x, y) :: more
+      in
+      fold merged rest
+  in
+  go intervals
+
+let absorb r =
+  (* consume buffered intervals now contiguous with rcv_next *)
+  let rec go () =
+    match r.ooo with
+    | (a, b) :: rest when a <= r.rcv_next ->
+      if b > r.rcv_next then r.rcv_next <- b;
+      r.ooo <- rest;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let send_ack r ~ece =
+  let seg =
+    {
+      Packet.conn_id = r.r_conn_id;
+      subflow = r.r_subflow;
+      src_port = r.r_src_port;
+      dst_port = r.r_dst_port;
+      seq = 0;
+      ack = r.rcv_next;
+      kind = Packet.Ack;
+      payload = 0;
+      ece;
+    }
+  in
+  ignore r.r_cfg;
+  ignore r.r_sched;
+  r.r_tx (Packet.make_tenant ~src:r.r_addr ~dst:r.r_peer ~seg)
+
+let on_data r (inner : Packet.inner) =
+  let seg = inner.Packet.seg in
+  let lo = seg.Packet.seq and hi = seg.Packet.seq + seg.Packet.payload in
+  let before = r.rcv_next in
+  if hi <= r.rcv_next then () (* pure duplicate *)
+  else if lo <= r.rcv_next then begin
+    r.rcv_next <- hi;
+    absorb r
+  end
+  else begin
+    r.ooo <- insert_interval r.ooo (lo, hi);
+    r.ooo_count <- r.ooo_count + 1
+  end;
+  r.delivered <- r.delivered + (r.rcv_next - before);
+  let ece = inner.Packet.inner_ecn = Packet.Ce in
+  send_ack r ~ece

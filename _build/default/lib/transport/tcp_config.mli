@@ -1,0 +1,24 @@
+(** Guest TCP stack parameters. *)
+
+type t = {
+  mss : int;  (** payload bytes per segment *)
+  init_cwnd_pkts : float;
+  dupack_threshold : int;
+  min_rto : Sim_time.span;
+  max_rto : Sim_time.span;
+  respond_to_ecn : bool;
+      (** whether the guest reacts to congestion signals relayed by the
+          hypervisor (Clove masks fabric ECN unless all paths are
+          congested) *)
+  dctcp : bool;
+      (** DCTCP guest stack (Section 7): reduce the window in proportion to
+          the fraction of marked bytes instead of halving *)
+  dctcp_g : float;  (** DCTCP's EWMA gain (1/16 in the paper) *)
+}
+
+val default : t
+(** mss 1400, initial window 10, dupack threshold 3, min RTO 10 ms,
+    max RTO 2 s, ECN response on, DCTCP off. *)
+
+val dctcp : t
+(** [default] with the DCTCP congestion response enabled. *)

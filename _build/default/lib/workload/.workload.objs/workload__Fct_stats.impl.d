@@ -1,0 +1,1 @@
+lib/workload/fct_stats.ml: Hashtbl List Sim_time Stats

@@ -1,0 +1,1 @@
+lib/workload/fct_stats.mli: Sim_time Stats

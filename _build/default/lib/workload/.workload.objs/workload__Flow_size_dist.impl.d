@@ -1,0 +1,1 @@
+lib/workload/flow_size_dist.ml: Array List Rng Stats

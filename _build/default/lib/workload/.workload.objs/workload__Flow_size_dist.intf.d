@@ -1,0 +1,1 @@
+lib/workload/flow_size_dist.mli: Rng Stats

@@ -1,0 +1,1 @@
+lib/workload/incast.ml: Array Float Rng Scheduler Sim_time

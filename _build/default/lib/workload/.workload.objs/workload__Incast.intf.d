@@ -1,0 +1,1 @@
+lib/workload/incast.mli: Rng Scheduler Sim_time

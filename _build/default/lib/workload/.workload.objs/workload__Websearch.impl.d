@@ -1,0 +1,1 @@
+lib/workload/websearch.ml: Array Fct_stats Flow_size_dist Printf Rng Scheduler Sim_time Stats

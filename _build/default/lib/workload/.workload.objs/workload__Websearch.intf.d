@@ -1,0 +1,1 @@
+lib/workload/websearch.mli: Fct_stats Rng Scheduler Sim_time Stats

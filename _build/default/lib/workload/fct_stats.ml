@@ -1,0 +1,52 @@
+type record = { size : int; start_sec : float; fct_sec : float }
+
+type t = { mutable records : record list; mutable n : int }
+
+let create () = { records = []; n = 0 }
+
+let record t ~size ~start ~finish =
+  let fct_sec = Sim_time.span_to_sec (Sim_time.diff finish start) in
+  t.records <- { size; start_sec = Sim_time.to_sec start; fct_sec } :: t.records;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let summary ?(min_size = 0) ?(max_size = max_int) t =
+  let s = Stats.Summary.create () in
+  List.iter
+    (fun r -> if r.size >= min_size && r.size < max_size then Stats.Summary.add s r.fct_sec)
+    t.records;
+  s
+
+let avg ?min_size ?max_size t = Stats.Summary.mean (summary ?min_size ?max_size t)
+
+let percentile ?min_size ?max_size t p =
+  Stats.Summary.percentile (summary ?min_size ?max_size t) p
+
+let cdf ?min_size ?max_size t =
+  Stats.Cdf.of_samples (Stats.Summary.samples (summary ?min_size ?max_size t))
+
+let merge a b =
+  { records = a.records @ b.records; n = a.n + b.n }
+
+let timeline t ~bucket_sec =
+  if bucket_sec <= 0.0 then invalid_arg "Fct_stats.timeline: bucket must be positive";
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let b = int_of_float (r.start_sec /. bucket_sec) in
+      let s =
+        match Hashtbl.find_opt buckets b with
+        | Some s -> s
+        | None ->
+          let s = Stats.Summary.create () in
+          Hashtbl.replace buckets b s;
+          s
+      in
+      Stats.Summary.add s r.fct_sec)
+    t.records;
+  Hashtbl.fold (fun b s acc -> (float_of_int b *. bucket_sec, s) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let mice_cutoff = 100_000
+let elephant_cutoff = 10_000_000

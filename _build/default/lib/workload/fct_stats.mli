@@ -1,0 +1,34 @@
+(** Flow-completion-time bookkeeping.
+
+    FCT is measured from job arrival (submission on the persistent
+    connection) to acknowledgement of the last byte, so it includes the
+    connection-queueing delay — this matches the paper's job-completion-
+    time methodology and explains the multi-second averages at high load. *)
+
+type t
+
+val create : unit -> t
+val record : t -> size:int -> start:Sim_time.t -> finish:Sim_time.t -> unit
+val count : t -> int
+
+val summary :
+  ?min_size:int -> ?max_size:int -> t -> Stats.Summary.t
+(** FCTs in seconds of flows with [min_size <= size < max_size]. *)
+
+val avg : ?min_size:int -> ?max_size:int -> t -> float
+(** Mean FCT in seconds; [nan] if no flows match. *)
+
+val percentile : ?min_size:int -> ?max_size:int -> t -> float -> float
+val cdf : ?min_size:int -> ?max_size:int -> t -> Stats.Cdf.t
+val merge : t -> t -> t
+
+val timeline : t -> bucket_sec:float -> (float * Stats.Summary.t) list
+(** FCT summaries bucketed by job *arrival* time — used to watch a scheme
+    adapt to a mid-run link failure.  Returns (bucket start, summary) in
+    time order. *)
+
+val mice_cutoff : int
+(** 100 KB — the paper's "<100KB" mice bucket. *)
+
+val elephant_cutoff : int
+(** 10 MB — the paper's ">10MB" bucket. *)

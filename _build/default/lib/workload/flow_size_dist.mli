@@ -1,0 +1,21 @@
+(** Empirical flow-size distributions used in the paper's evaluation.
+
+    The web-search distribution is the production Microsoft workload from
+    the DCTCP paper (Alizadeh et al., SIGCOMM '10), the one the Clove paper
+    uses on both testbed and NS2.  It is long-tailed: most flows are mice,
+    a small fraction of elephants carries most bytes.  The data-mining
+    distribution (from VL2/CONGA) is included as an extension workload. *)
+
+val web_search : Stats.Cdf.t
+(** Flow sizes in bytes; mean about 1.7 MB. *)
+
+val data_mining : Stats.Cdf.t
+
+val sample : Stats.Cdf.t -> Rng.t -> int
+(** Inverse-transform sample, at least 1 byte. *)
+
+val mean_bytes : Stats.Cdf.t -> float
+
+val scale : Stats.Cdf.t -> float -> Stats.Cdf.t
+(** Multiply all sizes by a factor — used to run scaled-down experiments
+    while preserving the distribution shape.  Factor must be positive. *)

@@ -1,0 +1,26 @@
+(** The partition–aggregate (incast) workload of Section 5.3.
+
+    A single client repeatedly requests a fixed-size response, striped over
+    [fanout] servers chosen uniformly at random; all chosen servers start
+    sending simultaneously, stressing the client's access-link queue.  The
+    next request is issued only when the previous one fully completes.  The
+    metric is the client-side goodput averaged over all requests. *)
+
+type result = {
+  goodput_bps : float;
+  requests : int;
+  elapsed : Sim_time.span;
+}
+
+val run :
+  sched:Scheduler.t ->
+  rng:Rng.t ->
+  server_submits:(bytes:int -> on_complete:(unit -> unit) -> unit) array ->
+  fanout:int ->
+  total_bytes:int ->
+  requests:int ->
+  start_at:Sim_time.span ->
+  result
+(** [server_submits.(i)] submits a transfer on the persistent connection
+    from server [i] to the client.  [fanout] must not exceed the number of
+    servers. *)

@@ -1,0 +1,54 @@
+type config = {
+  load : float;
+  bisection_bps : float;
+  jobs_per_conn : int;
+  size_dist : Stats.Cdf.t;
+  start_at : Sim_time.span;
+}
+
+type submit = bytes:int -> on_complete:(unit -> unit) -> unit
+
+let arrival_rate_per_conn cfg ~conns =
+  if cfg.load <= 0.0 || cfg.load > 2.0 then invalid_arg "Websearch: load out of range";
+  let mean_bits = Flow_size_dist.mean_bytes cfg.size_dist *. 8.0 in
+  cfg.load *. cfg.bisection_bps /. float_of_int conns /. mean_bits
+
+let run ~sched ~rng ~conns cfg =
+  let n = Array.length conns in
+  if n = 0 then invalid_arg "Websearch.run: no connections";
+  if cfg.jobs_per_conn <= 0 then invalid_arg "Websearch.run: jobs_per_conn <= 0";
+  let lambda = arrival_rate_per_conn cfg ~conns:n in
+  let mean_gap_sec = 1.0 /. lambda in
+  let stats = Fct_stats.create () in
+  let remaining = ref (n * cfg.jobs_per_conn) in
+  let submit_job conn_rng submit =
+    let size = Flow_size_dist.sample cfg.size_dist conn_rng in
+    let start = Scheduler.now sched in
+    submit ~bytes:size ~on_complete:(fun () ->
+        Fct_stats.record stats ~size ~start ~finish:(Scheduler.now sched);
+        decr remaining)
+  in
+  Array.iter
+    (fun submit ->
+      let conn_rng = Rng.split rng in
+      let rec arrive issued =
+        if issued < cfg.jobs_per_conn then begin
+          let gap = Sim_time.sec (Rng.exponential conn_rng ~mean:mean_gap_sec) in
+          ignore
+            (Scheduler.schedule sched ~after:gap (fun () ->
+                 submit_job conn_rng submit;
+                 arrive (issued + 1)))
+        end
+      in
+      (* shift the whole process past the warmup *)
+      ignore
+        (Scheduler.schedule sched ~after:cfg.start_at (fun () -> arrive 0)))
+    conns;
+  while !remaining > 0 && Scheduler.step sched do
+    ()
+  done;
+  if !remaining > 0 then
+    failwith
+      (Printf.sprintf "Websearch.run: simulation stalled with %d jobs outstanding"
+         !remaining);
+  stats

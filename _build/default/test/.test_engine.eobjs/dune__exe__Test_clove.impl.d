@@ -1,0 +1,1 @@
+test/test_clove.ml: Addr Alcotest Array Clove Experiments Fabric Float Gen Hashtbl Host List Option Packet QCheck QCheck_alcotest Scheduler Sim_time Topology

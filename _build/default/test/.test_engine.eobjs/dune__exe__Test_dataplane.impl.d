@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Array Clove Experiments Hashtbl Host List Packet Scenario Scheduler Sim_time Transport Workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Event_queue Gen List QCheck QCheck_alcotest Rng Scheduler Sim_time

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Addr Alcotest Array Clove Experiments Fabric Hashtbl Host Link List Packet Printf Rng Routing Scenario Scheduler Sim_time Stats Switch Topology Transport Workload

@@ -1,0 +1,1 @@
+test/test_fabric_lb.ml: Alcotest Array Experiments Fabric Fabric_lb List Printf Scheduler Sim_time Switch Workload

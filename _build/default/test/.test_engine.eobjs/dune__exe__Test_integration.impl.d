@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Clove Experiments Float Host List Printf Scenario Scheduler Sim_time Sweep Transport Workload

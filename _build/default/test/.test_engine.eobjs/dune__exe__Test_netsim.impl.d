@@ -1,0 +1,1 @@
+test/test_netsim.ml: Addr Alcotest Array Dre Ecmp_hash Fabric Hashtbl Host Link List Packet Pkt_queue QCheck QCheck_alcotest Routing Scheduler Sim_time Switch Topology

@@ -1,0 +1,1 @@
+test/test_properties.ml: Addr Alcotest Array Clove Gen List Packet QCheck QCheck_alcotest Rng Scheduler Sim_time Transport

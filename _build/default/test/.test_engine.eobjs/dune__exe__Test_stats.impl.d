@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cdf Float Gen Histogram List QCheck QCheck_alcotest Stats String Summary Table

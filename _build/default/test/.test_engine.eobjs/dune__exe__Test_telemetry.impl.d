@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Addr Alcotest Format Link List Packet Scheduler Sim_time String Telemetry

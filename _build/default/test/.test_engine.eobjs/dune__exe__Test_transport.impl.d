@@ -1,0 +1,1 @@
+test/test_transport.ml: Addr Alcotest List Packet QCheck QCheck_alcotest Rng Scheduler Sim_time Transport

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Rng Scheduler Sim_time Stats Workload

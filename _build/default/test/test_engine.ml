@@ -1,0 +1,243 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------- Sim_time ------------------------- *)
+
+let test_time_arithmetic () =
+  let t = Sim_time.add Sim_time.zero (Sim_time.us 5) in
+  check_int "5us in ns" 5_000 (Sim_time.to_ns t);
+  let t2 = Sim_time.add t (Sim_time.ms 1) in
+  check_int "diff" 1_000_000 (Sim_time.span_ns (Sim_time.diff t2 t));
+  check_bool "ordering" true Sim_time.(t < t2);
+  check_int "sub_span floors at zero" 0
+    (Sim_time.span_ns (Sim_time.sub_span (Sim_time.ns 5) (Sim_time.ns 10)))
+
+let test_time_negative_diff () =
+  let t1 = Sim_time.of_ns 100 and t2 = Sim_time.of_ns 50 in
+  Alcotest.check_raises "negative diff" (Invalid_argument "Sim_time.diff: negative")
+    (fun () -> ignore (Sim_time.diff t2 t1))
+
+let test_tx_time () =
+  (* 1500 bytes at 10 Gbps = 1.2 us *)
+  check_int "1500B@10G" 1_200 (Sim_time.span_ns (Sim_time.tx_time ~bytes_len:1500 ~rate_bps:10e9));
+  Alcotest.check_raises "zero rate" (Invalid_argument "Sim_time.tx_time: rate must be positive")
+    (fun () -> ignore (Sim_time.tx_time ~bytes_len:1 ~rate_bps:0.0))
+
+let test_time_scaling () =
+  let s = Sim_time.us 100 in
+  check_int "x2.5" 250_000 (Sim_time.span_ns (Sim_time.mul_span s 2.5));
+  check_int "sec conversion" 1_500_000_000 (Sim_time.span_ns (Sim_time.sec 1.5))
+
+(* --------------------------------- Rng ---------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  let d = Rng.split a in
+  (* different splits should give different streams *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int c 1_000_000 = Rng.int d 1_000_000 then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let test_rng_split_named_stable () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let x = Rng.split_named a "workload" and y = Rng.split_named b "workload" in
+  check_int "named split deterministic" (Rng.int x 9999) (Rng.int y 9999)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 2.0" true (abs_float (mean -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 100 (fun i -> i)) sorted
+
+(* ------------------------------ Event_queue ----------------------- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:(Sim_time.of_ns 30) "c";
+  Event_queue.add q ~time:(Sim_time.of_ns 10) "a";
+  Event_queue.add q ~time:(Sim_time.of_ns 20) "b";
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "a first" "a" (pop ());
+  Alcotest.(check string) "b second" "b" (pop ());
+  Alcotest.(check string) "c third" "c" (pop ());
+  check_bool "empty" true (Event_queue.is_empty q)
+
+let test_eq_fifo_same_time () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.add q ~time:(Sim_time.of_ns 5) i
+  done;
+  for i = 0 to 9 do
+    match Event_queue.pop q with
+    | Some (_, v) -> check_int "insertion order" i v
+    | None -> Alcotest.fail "queue empty early"
+  done
+
+let test_eq_grows () =
+  let q = Event_queue.create ~capacity:2 () in
+  for i = 0 to 999 do
+    Event_queue.add q ~time:(Sim_time.of_ns i) i
+  done;
+  check_int "size" 1000 (Event_queue.size q);
+  check_int "peek" 0 (match Event_queue.peek_time q with Some t -> Sim_time.to_ns t | None -> -1)
+
+let prop_eq_sorted =
+  QCheck.Test.make ~name:"event_queue pops in non-decreasing time order" ~count:200
+    QCheck.(list (int_bound 1_000_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.add q ~time:(Sim_time.of_ns t) t) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      (* popping in key order of a stable heap = stable sort of the input *)
+      popped = List.stable_sort compare times)
+
+(* ------------------------------- Scheduler ------------------------ *)
+
+let test_sched_order_and_clock () =
+  let s = Scheduler.create () in
+  let log = ref [] in
+  ignore (Scheduler.schedule s ~after:(Sim_time.us 2) (fun () -> log := 2 :: !log));
+  ignore (Scheduler.schedule s ~after:(Sim_time.us 1) (fun () -> log := 1 :: !log));
+  ignore (Scheduler.schedule s ~after:(Sim_time.us 3) (fun () -> log := 3 :: !log));
+  Scheduler.run s;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" 3_000 (Sim_time.to_ns (Scheduler.now s))
+
+let test_sched_cancel () =
+  let s = Scheduler.create () in
+  let fired = ref false in
+  let h = Scheduler.schedule s ~after:(Sim_time.us 1) (fun () -> fired := true) in
+  Scheduler.cancel h;
+  Scheduler.run s;
+  check_bool "cancelled" false !fired
+
+let test_sched_nested_schedule () =
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Scheduler.schedule s ~after:(Sim_time.ns 10) (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 100;
+  Scheduler.run s;
+  check_int "chain fired" 100 !count;
+  check_int "clock" 1_000 (Sim_time.to_ns (Scheduler.now s))
+
+let test_sched_until () =
+  let s = Scheduler.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Scheduler.schedule s ~after:(Sim_time.us i) (fun () -> incr fired))
+  done;
+  Scheduler.run ~until:(Sim_time.of_ns 5_000) s;
+  check_int "only first 5" 5 !fired;
+  check_int "clock clamped" 5_000 (Sim_time.to_ns (Scheduler.now s));
+  Scheduler.run s;
+  check_int "rest fired" 10 !fired
+
+let test_sched_periodic () =
+  let s = Scheduler.create () in
+  let n = ref 0 in
+  Scheduler.schedule_periodic s ~every:(Sim_time.us 1) (fun () ->
+      incr n;
+      !n < 5);
+  Scheduler.run s;
+  check_int "five ticks" 5 !n
+
+let test_sched_past_raises () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.schedule s ~after:(Sim_time.us 5) (fun () -> ()));
+  Scheduler.run s;
+  Alcotest.check_raises "past" (Invalid_argument "Scheduler.schedule_at: time in the past")
+    (fun () -> ignore (Scheduler.schedule_at s ~time:Sim_time.zero (fun () -> ())))
+
+let prop_scheduler_fires_all =
+  QCheck.Test.make ~name:"scheduler fires every scheduled event" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 50) (int_bound 10_000))
+    (fun delays ->
+      let s = Scheduler.create () in
+      let fired = ref 0 in
+      List.iter
+        (fun d -> ignore (Scheduler.schedule s ~after:(Sim_time.ns d) (fun () -> incr fired)))
+        delays;
+      Scheduler.run s;
+      !fired = List.length delays)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "sim_time",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "negative diff raises" `Quick test_time_negative_diff;
+          Alcotest.test_case "tx_time" `Quick test_tx_time;
+          Alcotest.test_case "scaling" `Quick test_time_scaling;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "named split stable" `Quick test_rng_split_named_stable;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle is permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "fifo at same time" `Quick test_eq_fifo_same_time;
+          Alcotest.test_case "growth" `Quick test_eq_grows;
+          qc prop_eq_sorted;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "order and clock" `Quick test_sched_order_and_clock;
+          Alcotest.test_case "cancel" `Quick test_sched_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_sched_nested_schedule;
+          Alcotest.test_case "run until" `Quick test_sched_until;
+          Alcotest.test_case "periodic" `Quick test_sched_periodic;
+          Alcotest.test_case "past raises" `Quick test_sched_past_raises;
+          qc prop_scheduler_fires_all;
+        ] );
+    ]

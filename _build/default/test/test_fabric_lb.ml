@@ -1,0 +1,121 @@
+(* Tests for the CONGA in-fabric load balancer. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build ?(asymmetric = false) () =
+  let params = { Experiments.Scenario.default_params with asymmetric; seed = 9 } in
+  Experiments.Scenario.build ~scheme:Experiments.Scenario.S_conga params
+
+let leaf_ids scn =
+  Array.to_list (Fabric.switches (Experiments.Scenario.fabric scn))
+  |> List.filter (fun sw -> Switch.level sw = Switch.Leaf)
+  |> List.map Switch.id
+
+let test_conga_delivers () =
+  let scn = build () in
+  let sched = Experiments.Scenario.sched scn in
+  let client = (Experiments.Scenario.clients scn).(0) in
+  let server = (Experiments.Scenario.servers scn).(0) in
+  let submit = Experiments.Scenario.connect scn ~src:client ~dst:server in
+  let finished = ref false in
+  ignore
+    (Scheduler.schedule sched ~after:(Sim_time.ms 1) (fun () ->
+         submit ~bytes:500_000 ~on_complete:(fun () -> finished := true)));
+  Scheduler.run ~until:(Sim_time.of_ns 100_000_000) sched;
+  check_bool "transfer completed" true !finished;
+  Experiments.Scenario.quiesce scn
+
+let test_conga_metadata_flows () =
+  (* after traffic in both directions, the source leaf must have learned
+     CongToLeaf metrics through piggybacked feedback *)
+  let scn = build () in
+  let sched = Experiments.Scenario.sched scn in
+  let clients = Experiments.Scenario.clients scn in
+  let server = (Experiments.Scenario.servers scn).(0) in
+  let submits =
+    Array.map (fun c -> Experiments.Scenario.connect scn ~src:c ~dst:server) clients
+  in
+  ignore
+    (Scheduler.schedule sched ~after:(Sim_time.ms 1) (fun () ->
+         Array.iter (fun s -> s ~bytes:2_000_000 ~on_complete:(fun () -> ())) submits));
+  (* read the tables while traffic is still flowing: CONGA ages metrics
+     out after 10 ms of silence *)
+  Scheduler.run ~until:(Sim_time.of_ns 9_000_000) sched;
+  let conga =
+    match Experiments.Scenario.conga scn with
+    | Some c -> c
+    | None -> Alcotest.fail "conga not installed"
+  in
+  check_bool "made decisions" true (Fabric_lb.Conga.decisions conga > 0);
+  check_bool "created flowlets" true (Fabric_lb.Conga.flowlets_started conga > 0);
+  (match leaf_ids scn with
+  | [ l1; l2 ] ->
+    (* the client leaf learned utilization toward the server leaf on at
+       least one uplink *)
+    let metrics = Fabric_lb.Conga.cong_to_leaf conga ~leaf:l1 ~dst_leaf:l2 in
+    check_int "4 uplinks" 4 (Array.length metrics);
+    check_bool "some non-zero metric" true (Array.exists (fun m -> m > 0.0) metrics)
+  | _ -> Alcotest.fail "expected two leaves");
+  Experiments.Scenario.quiesce scn
+
+let test_conga_avoids_degraded_spine () =
+  (* asymmetric fabric: CONGA must shift load away from the degraded
+     spine.  Compare bytes carried by the two spines. *)
+  let scn = build ~asymmetric:true () in
+  let sched = Experiments.Scenario.sched scn in
+  let clients = Experiments.Scenario.clients scn in
+  let servers = Experiments.Scenario.servers scn in
+  Array.iteri
+    (fun i c ->
+      let submit =
+        Experiments.Scenario.connect scn ~src:c ~dst:servers.(i mod Array.length servers)
+      in
+      ignore
+        (Scheduler.schedule sched ~after:(Sim_time.ms 1) (fun () ->
+             submit ~bytes:4_000_000 ~on_complete:(fun () -> ()))))
+    clients;
+  Scheduler.run ~until:(Sim_time.of_ns 60_000_000) sched;
+  let spines =
+    Array.to_list (Fabric.switches (Experiments.Scenario.fabric scn))
+    |> List.filter (fun sw -> Switch.level sw = Switch.Spine)
+  in
+  (match spines with
+  | [ s1; s2 ] ->
+    (* s2 is degraded (half its capacity toward L2): it must carry less *)
+    check_bool "healthy spine carries more" true
+      (Switch.rx_packets s1 > Switch.rx_packets s2)
+  | _ -> Alcotest.fail "expected two spines");
+  Experiments.Scenario.quiesce scn
+
+let test_conga_asymmetric_beats_ecmp () =
+  (* the paper's core claim about utilization-aware fabric LB: under
+     asymmetry CONGA clearly beats ECMP on average FCT *)
+  let run scheme =
+    let params =
+      {
+        Experiments.Scenario.default_params with
+        Experiments.Scenario.asymmetric = true;
+        seed = 2;
+      }
+    in
+    Workload.Fct_stats.avg
+      (Experiments.Sweep.websearch_run ~scheme ~params ~load:0.6 ~jobs_per_conn:60)
+  in
+  let ecmp = run Experiments.Scenario.S_ecmp in
+  let conga = run Experiments.Scenario.S_conga in
+  check_bool
+    (Printf.sprintf "conga (%.4fs) beats ecmp (%.4fs)" conga ecmp)
+    true (conga < ecmp)
+
+let () =
+  Alcotest.run "fabric_lb"
+    [
+      ( "conga",
+        [
+          Alcotest.test_case "delivers" `Quick test_conga_delivers;
+          Alcotest.test_case "metadata flows" `Quick test_conga_metadata_flows;
+          Alcotest.test_case "avoids degraded spine" `Slow test_conga_avoids_degraded_spine;
+          Alcotest.test_case "beats ecmp under asymmetry" `Slow test_conga_asymmetric_beats_ecmp;
+        ] );
+    ]

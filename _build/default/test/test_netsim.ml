@@ -1,0 +1,431 @@
+(* Unit and property tests for the network substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_seg ?(payload = 1400) ?(kind = Packet.Data) () =
+  {
+    Packet.conn_id = 1;
+    subflow = 0;
+    src_port = 1000;
+    dst_port = 80;
+    seq = 0;
+    ack = 0;
+    kind;
+    payload;
+    ece = false;
+  }
+
+let mk_data ?(src = 0) ?(dst = 1) ?payload () =
+  Packet.make_tenant ~src:(Addr.of_int src) ~dst:(Addr.of_int dst)
+    ~seg:(mk_seg ?payload ())
+
+let encapsulate ?(src_port = 50000) pkt ~src ~dst =
+  pkt.Packet.encap <-
+    Some
+      {
+        Packet.src_hv = Addr.of_int src;
+        dst_hv = Addr.of_int dst;
+        src_port;
+        dst_port = Packet.stt_port;
+        feedback = None;
+        cell = None;
+      };
+  pkt.Packet.size <- pkt.Packet.size + Packet.encap_header_bytes;
+  pkt
+
+(* -------------------------------- Packet -------------------------- *)
+
+let test_packet_sizes () =
+  let pkt = mk_data () in
+  check_int "wire size" (1400 + Packet.inner_header_bytes) pkt.Packet.size;
+  let pkt = encapsulate pkt ~src:0 ~dst:1 in
+  check_int "encap adds header" (1400 + 40 + 58) pkt.Packet.size
+
+let test_packet_route_dst () =
+  let pkt = mk_data ~src:0 ~dst:1 () in
+  check_int "inner dst" 1 (Addr.to_int (Packet.route_dst pkt));
+  let pkt = encapsulate pkt ~src:5 ~dst:9 in
+  check_int "outer dst wins" 9 (Addr.to_int (Packet.route_dst pkt))
+
+let test_packet_uids_unique () =
+  let a = mk_data () and b = mk_data () in
+  check_bool "uids differ" true (a.Packet.uid <> b.Packet.uid)
+
+let test_flow_key_stability () =
+  let a = mk_data () and b = mk_data () in
+  let key p = match p.Packet.payload with Packet.Tenant i -> Packet.tcp_flow_key i | _ -> 0 in
+  check_int "same tuple same key" (key a) (key b)
+
+(* ------------------------------- Ecmp_hash ------------------------ *)
+
+let test_hash_deterministic () =
+  let h1 = Ecmp_hash.hash_tuple ~seed:1 (1, 2, 3, 4) in
+  let h2 = Ecmp_hash.hash_tuple ~seed:1 (1, 2, 3, 4) in
+  check_int "deterministic" h1 h2;
+  check_bool "seed matters" true (h1 <> Ecmp_hash.hash_tuple ~seed:2 (1, 2, 3, 4));
+  check_bool "tuple matters" true (h1 <> Ecmp_hash.hash_tuple ~seed:1 (1, 2, 3, 5))
+
+let test_hash_spreads_ports () =
+  (* varying just the source port must spread over all next hops: this is
+     the property Clove's indirect source routing depends on *)
+  let pkt = mk_data () in
+  let counts = Array.make 4 0 in
+  for port = 50000 to 50999 do
+    let pkt = { pkt with Packet.encap = None } in
+    let pkt = encapsulate pkt ~src_port:port ~src:0 ~dst:1 in
+    let i = Ecmp_hash.select ~seed:7 pkt ~n:4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter (fun c -> check_bool "each next hop used" true (c > 150)) counts
+
+let prop_hash_in_range =
+  QCheck.Test.make ~name:"select stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 16))
+    (fun (port, n) ->
+      let pkt = encapsulate (mk_data ()) ~src_port:(abs port) ~src:0 ~dst:1 in
+      let i = Ecmp_hash.select ~seed:3 pkt ~n in
+      i >= 0 && i < n)
+
+(* ---------------------------------- Dre --------------------------- *)
+
+let test_dre_tracks_rate () =
+  let sched = Scheduler.create () in
+  let dre = Dre.create ~rate_bps:10e9 sched in
+  (* send at exactly line rate for 300 us: utilization should approach 1 *)
+  let pkt_bytes = 1250 in
+  let interval = Sim_time.ns (pkt_bytes * 8 / 10) in
+  (* 1250B at 10Gbps = 1us *)
+  for i = 0 to 299 do
+    ignore
+      (Scheduler.schedule_at sched
+         ~time:(Sim_time.of_ns (i * Sim_time.span_ns interval))
+         (fun () -> Dre.observe dre ~bytes_len:pkt_bytes))
+  done;
+  Scheduler.run sched;
+  let u = Dre.utilization dre in
+  check_bool "near line rate" true (u > 0.8 && u < 1.3)
+
+let test_dre_decays_when_idle () =
+  let sched = Scheduler.create () in
+  let dre = Dre.create ~rate_bps:10e9 sched in
+  Dre.observe dre ~bytes_len:100_000;
+  ignore (Scheduler.schedule sched ~after:(Sim_time.ms 10) (fun () -> ()));
+  Scheduler.run sched;
+  check_bool "decayed to ~0" true (Dre.utilization dre < 0.01)
+
+(* ------------------------------- Pkt_queue ------------------------ *)
+
+let test_queue_fifo () =
+  let q = Pkt_queue.create () in
+  let a = mk_data () and b = mk_data () in
+  ignore (Pkt_queue.enqueue q a);
+  ignore (Pkt_queue.enqueue q b);
+  check_int "len" 2 (Pkt_queue.length q);
+  (match Pkt_queue.dequeue q with
+  | Some p -> check_int "fifo" a.Packet.uid p.Packet.uid
+  | None -> Alcotest.fail "empty");
+  check_int "bytes tracked" b.Packet.size (Pkt_queue.byte_length q)
+
+let test_queue_drop_tail () =
+  let q = Pkt_queue.create ~capacity_pkts:2 ~ecn_threshold_pkts:0 () in
+  check_bool "ok" true (Pkt_queue.enqueue q (mk_data ()));
+  check_bool "ok" true (Pkt_queue.enqueue q (mk_data ()));
+  check_bool "dropped" false (Pkt_queue.enqueue q (mk_data ()));
+  check_int "drop counted" 1 (Pkt_queue.stats q).Pkt_queue.dropped
+
+let test_queue_ecn_marking () =
+  let q = Pkt_queue.create ~capacity_pkts:100 ~ecn_threshold_pkts:3 () in
+  let pkts = List.init 6 (fun _ ->
+      let p = mk_data () in
+      p.Packet.ecn <- Packet.Ect;
+      p)
+  in
+  List.iter (fun p -> ignore (Pkt_queue.enqueue q p)) pkts;
+  let marked = List.filter (fun p -> p.Packet.ecn = Packet.Ce) pkts in
+  (* occupancy after enqueue exceeds 3 for packets 4..6 *)
+  check_int "marks" 3 (List.length marked);
+  check_int "stat" 3 (Pkt_queue.stats q).Pkt_queue.marked
+
+let test_queue_no_mark_not_ect () =
+  let q = Pkt_queue.create ~capacity_pkts:100 ~ecn_threshold_pkts:1 () in
+  let pkts = List.init 4 (fun _ -> mk_data ()) in
+  List.iter (fun p -> ignore (Pkt_queue.enqueue q p)) pkts;
+  check_int "non-ECT never marked" 0 (Pkt_queue.stats q).Pkt_queue.marked
+
+(* ---------------------------------- Link -------------------------- *)
+
+let test_link_delivers_with_latency () =
+  let sched = Scheduler.create () in
+  let link =
+    Link.create ~sched ~rate_bps:10e9 ~prop_delay:(Sim_time.us 5) ()
+  in
+  let arrived = ref Sim_time.zero in
+  Link.set_sink link (fun _ -> arrived := Scheduler.now sched);
+  let pkt = mk_data () in
+  (* 1440B at 10G = 1.152us tx + 5us prop *)
+  Link.send link pkt;
+  Scheduler.run sched;
+  check_int "arrival time" 6_152 (Sim_time.to_ns !arrived)
+
+let test_link_serializes () =
+  let sched = Scheduler.create () in
+  let link = Link.create ~sched ~rate_bps:10e9 ~prop_delay:Sim_time.zero_span () in
+  let arrivals = ref [] in
+  Link.set_sink link (fun p -> arrivals := (p.Packet.uid, Sim_time.to_ns (Scheduler.now sched)) :: !arrivals);
+  let a = mk_data () and b = mk_data () in
+  Link.send link a;
+  Link.send link b;
+  Scheduler.run sched;
+  match List.rev !arrivals with
+  | [ (ua, ta); (ub, tb) ] ->
+    check_int "first" a.Packet.uid ua;
+    check_int "second" b.Packet.uid ub;
+    check_bool "b after a by one tx time" true (tb - ta >= 1_152)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_down_drops () =
+  let sched = Scheduler.create () in
+  let link = Link.create ~sched ~rate_bps:10e9 ~prop_delay:Sim_time.zero_span () in
+  let got = ref 0 in
+  Link.set_sink link (fun _ -> incr got);
+  Link.set_up link false;
+  Link.send link (mk_data ());
+  Scheduler.run sched;
+  check_int "nothing delivered" 0 !got;
+  check_int "down drop counted" 1 (Link.down_drops link);
+  Link.set_up link true;
+  Link.send link (mk_data ());
+  Scheduler.run sched;
+  check_int "delivered after restore" 1 !got
+
+(* ------------------------- Topology and routing ------------------- *)
+
+let small_leaf_spine () =
+  Topology.leaf_spine ~leaves:2 ~spines:2 ~hosts_per_leaf:2 ~parallel:2
+    ~host_rate_bps:10e9 ~fabric_rate_bps:20e9 ~host_delay:(Sim_time.us 2)
+    ~fabric_delay:(Sim_time.us 2)
+
+let test_leaf_spine_shape () =
+  let ls = small_leaf_spine () in
+  let topo = ls.Topology.topo in
+  check_int "nodes: 4 hosts + 4 switches" 8 (Topology.node_count topo);
+  (* 4 host links + 2 leaves x 2 spines x 2 parallel = 12 edges *)
+  check_int "edges" 12 (List.length (Topology.edges topo));
+  let leaf = ls.Topology.leaf_ids.(0) in
+  check_int "leaf neighbors: 2 hosts + 2 spines" 4
+    (List.length (Topology.live_neighbors topo leaf))
+
+let test_routing_host_to_host () =
+  let ls = small_leaf_spine () in
+  let topo = ls.Topology.topo in
+  let dst = ls.Topology.host_ids.(1).(0) in
+  let nh = Routing.next_hops topo ~dst in
+  let src_leaf = ls.Topology.leaf_ids.(0) in
+  let hops = Hashtbl.find nh src_leaf in
+  (* from the source leaf both spines are equal-cost next hops *)
+  check_int "two spine next-hops" 2 (List.length hops);
+  let src_host = ls.Topology.host_ids.(0).(0) in
+  check_int "host goes to its leaf" 1 (List.length (Hashtbl.find nh src_host))
+
+let test_routing_avoids_failed () =
+  let ls = small_leaf_spine () in
+  let topo = ls.Topology.topo in
+  let l2 = ls.Topology.leaf_ids.(1) and s2 = ls.Topology.spine_ids.(1) in
+  (* fail BOTH parallel links l2-s2: s2 must vanish from next hops toward
+     hosts behind l2 *)
+  (match Topology.find_edge topo ~a:l2 ~b:s2 ~bundle_index:0 with
+  | Some e -> Topology.fail_edge topo e
+  | None -> Alcotest.fail "edge missing");
+  (match Topology.find_edge topo ~a:l2 ~b:s2 ~bundle_index:1 with
+  | Some e -> Topology.fail_edge topo e
+  | None -> Alcotest.fail "edge missing");
+  let dst = ls.Topology.host_ids.(1).(0) in
+  let nh = Routing.next_hops topo ~dst in
+  let hops = Hashtbl.find nh ls.Topology.leaf_ids.(0) in
+  check_int "only one spine remains" 1 (List.length hops);
+  check_int "it is s1" ls.Topology.spine_ids.(0) (List.hd hops)
+
+let test_no_routing_through_hosts () =
+  (* two hosts on one leaf: the path between them must be via the leaf,
+     never via another host *)
+  let ls = small_leaf_spine () in
+  let topo = ls.Topology.topo in
+  let dst = ls.Topology.host_ids.(0).(0) in
+  let nh = Routing.next_hops topo ~dst in
+  let other_host = ls.Topology.host_ids.(0).(1) in
+  let hops = Hashtbl.find nh other_host in
+  Alcotest.(check (list int)) "via leaf" [ ls.Topology.leaf_ids.(0) ] hops
+
+(* --------------------------------- Fabric ------------------------- *)
+
+let build_fabric ?(config = Fabric.default_config) () =
+  let sched = Scheduler.create () in
+  let ls = small_leaf_spine () in
+  let fabric = Fabric.create ~sched ~config ls.Topology.topo in
+  Fabric.program_routes fabric;
+  (sched, ls, fabric)
+
+let test_fabric_end_to_end () =
+  let sched, ls, fabric = build_fabric () in
+  let src = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(0).(0)) in
+  let dst = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(1).(1)) in
+  let got = ref 0 in
+  Host.set_handler dst (fun _ -> incr got);
+  for _ = 1 to 10 do
+    Host.send src (mk_data ~src:(Host.id src) ~dst:(Host.id dst) ())
+  done;
+  Scheduler.run sched;
+  check_int "all delivered" 10 !got
+
+let test_fabric_ecmp_spreads_encap_ports () =
+  let sched, ls, fabric = build_fabric () in
+  let src = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(0).(0)) in
+  let dst = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(1).(0)) in
+  let got = ref 0 in
+  Host.set_handler dst (fun _ -> incr got);
+  for port = 50000 to 50199 do
+    let pkt = mk_data ~src:(Host.id src) ~dst:(Host.id dst) () in
+    Host.send src (encapsulate ~src_port:port pkt ~src:(Host.id src) ~dst:(Host.id dst))
+  done;
+  Scheduler.run sched;
+  check_int "all delivered" 200 !got;
+  (* both spines should have carried traffic *)
+  Array.iter
+    (fun sw ->
+      if Switch.level sw = Switch.Spine then
+        check_bool "spine used" true (Switch.rx_packets sw > 20))
+    (Fabric.switches fabric)
+
+let test_fabric_failure_reconvergence () =
+  let sched, ls, fabric = build_fabric () in
+  let topo = ls.Topology.topo in
+  let l2 = ls.Topology.leaf_ids.(1) and s2 = ls.Topology.spine_ids.(1) in
+  let edge =
+    match Topology.find_edge topo ~a:l2 ~b:s2 ~bundle_index:1 with
+    | Some e -> e
+    | None -> Alcotest.fail "edge missing"
+  in
+  Fabric.fail_edge fabric edge;
+  let src = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(0).(0)) in
+  let dst = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(1).(0)) in
+  let got = ref 0 in
+  Host.set_handler dst (fun _ -> incr got);
+  for port = 50000 to 50099 do
+    let pkt = mk_data ~src:(Host.id src) ~dst:(Host.id dst) () in
+    Host.send src (encapsulate ~src_port:port pkt ~src:(Host.id src) ~dst:(Host.id dst))
+  done;
+  Scheduler.run sched;
+  (* no black hole: every packet still arrives over the remaining links *)
+  check_int "all delivered after failure" 100 !got;
+  Fabric.restore_edge fabric edge;
+  for port = 51000 to 51099 do
+    let pkt = mk_data ~src:(Host.id src) ~dst:(Host.id dst) () in
+    Host.send src (encapsulate ~src_port:port pkt ~src:(Host.id src) ~dst:(Host.id dst))
+  done;
+  Scheduler.run sched;
+  check_int "restored" 200 !got
+
+let test_switch_ttl_expiry_answers_probe () =
+  let sched, ls, fabric = build_fabric () in
+  let src = Fabric.host_by_addr fabric (Addr.of_int ls.Topology.host_ids.(0).(0)) in
+  let dst_id = ls.Topology.host_ids.(1).(0) in
+  let replies = ref [] in
+  Host.set_handler src (fun pkt ->
+      match pkt.Packet.payload with
+      | Packet.Probe_reply r -> replies := r :: !replies
+      | _ -> ());
+  let probe ttl =
+    let pkt =
+      Packet.make ~ttl ~size:64
+        (Packet.Probe
+           {
+             Packet.probe_id = ttl;
+             probe_src = Host.addr src;
+             probe_dst = Addr.of_int dst_id;
+             probe_port = 50000;
+           })
+    in
+    Host.send src (encapsulate ~src_port:50000 pkt ~src:(Host.id src) ~dst:dst_id)
+  in
+  probe 1;
+  probe 2;
+  probe 3;
+  Scheduler.run sched;
+  check_int "one reply per expired probe" 3 (List.length !replies);
+  let hops =
+    List.filter_map (fun r -> r.Packet.reply_hop) !replies
+    |> List.map (fun h -> h.Packet.hop_node)
+    |> List.sort_uniq compare
+  in
+  (* ttl 1 dies at the source leaf, 2 at a spine, 3 at the remote leaf *)
+  check_int "three distinct hops" 3 (List.length hops)
+
+let test_fabric_ecn_threshold_update () =
+  let _, _, fabric = build_fabric () in
+  Fabric.set_ecn_threshold fabric 5;
+  List.iter
+    (fun link ->
+      ignore link)
+    (Fabric.all_links fabric);
+  (* behavioural check: a queue marks above the new threshold *)
+  let link = List.hd (Fabric.all_links fabric) in
+  let q = Link.queue link in
+  for _ = 1 to 10 do
+    let p = mk_data () in
+    p.Packet.ecn <- Packet.Ect;
+    ignore (Pkt_queue.enqueue q p)
+  done;
+  check_bool "marks with new threshold" true ((Pkt_queue.stats q).Pkt_queue.marked >= 4)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netsim"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "sizes" `Quick test_packet_sizes;
+          Alcotest.test_case "route dst" `Quick test_packet_route_dst;
+          Alcotest.test_case "uids" `Quick test_packet_uids_unique;
+          Alcotest.test_case "flow key" `Quick test_flow_key_stability;
+        ] );
+      ( "ecmp_hash",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "spreads over ports" `Quick test_hash_spreads_ports;
+          qc prop_hash_in_range;
+        ] );
+      ( "dre",
+        [
+          Alcotest.test_case "tracks rate" `Quick test_dre_tracks_rate;
+          Alcotest.test_case "decays idle" `Quick test_dre_decays_when_idle;
+        ] );
+      ( "pkt_queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "drop tail" `Quick test_queue_drop_tail;
+          Alcotest.test_case "ecn marking" `Quick test_queue_ecn_marking;
+          Alcotest.test_case "non-ect unmarked" `Quick test_queue_no_mark_not_ect;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "latency" `Quick test_link_delivers_with_latency;
+          Alcotest.test_case "serialization" `Quick test_link_serializes;
+          Alcotest.test_case "down drops" `Quick test_link_down_drops;
+        ] );
+      ( "topology+routing",
+        [
+          Alcotest.test_case "leaf-spine shape" `Quick test_leaf_spine_shape;
+          Alcotest.test_case "host-to-host next hops" `Quick test_routing_host_to_host;
+          Alcotest.test_case "avoids failed links" `Quick test_routing_avoids_failed;
+          Alcotest.test_case "never via hosts" `Quick test_no_routing_through_hosts;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "end to end" `Quick test_fabric_end_to_end;
+          Alcotest.test_case "ecmp spreads ports" `Quick test_fabric_ecmp_spreads_encap_ports;
+          Alcotest.test_case "failure reconvergence" `Quick test_fabric_failure_reconvergence;
+          Alcotest.test_case "ttl expiry probes" `Quick test_switch_ttl_expiry_answers_probe;
+          Alcotest.test_case "ecn threshold update" `Quick test_fabric_ecn_threshold_update;
+        ] );
+    ]
