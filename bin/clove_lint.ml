@@ -1,0 +1,79 @@
+(* clove-lint driver: walk the given roots (default: lib bin bench
+   examples), run every lexical rule over each [.ml] file, and check that
+   library modules ship an interface.  Exits 1 if any finding survives
+   its suppression check. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let skip_dir name =
+  name = "_build" || name = "results" || (String.length name > 0 && name.[0] = '.')
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if skip_dir name then acc else walk (Filename.concat path name) acc)
+      acc (Sys.readdir path)
+  else path :: acc
+
+let has_extension ext path = Filename.check_suffix path ext
+
+(* [missing-mli] applies to library modules only: executables, benchmarks
+   and examples are entry points, not public API *)
+let wants_interface path =
+  String.length path >= 4 && String.sub path 0 4 = "lib/"
+
+let file_suppresses_rule src rule =
+  String.split_on_char '\n' src
+  |> List.exists (fun line ->
+         List.mem rule (Analysis.Lint.allowed_rules_on_line line))
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib"; "bin"; "bench"; "examples" ]
+  in
+  (* a typo'd root must not silently lint nothing and report OK *)
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Format.eprintf "clove-lint: root '%s' does not exist@." root;
+        exit 2
+      end)
+    roots;
+  let files = List.fold_left (fun acc root -> walk root acc) [] roots in
+  let files = List.sort String.compare files in
+  let ml_files = List.filter (has_extension ".ml") files in
+  let mli_files = List.filter (has_extension ".mli") files in
+  let sources = List.map (fun f -> (f, read_file f)) ml_files in
+  let per_line =
+    List.concat_map
+      (fun (file, src) -> Analysis.Lint.check_source ~file src)
+      sources
+  in
+  let interface =
+    Analysis.Lint.check_interface_presence
+      ~ml_files:(List.filter wants_interface ml_files)
+      ~mli_files
+    |> List.filter (fun (f : Analysis.Lint.finding) ->
+           match List.assoc_opt f.Analysis.Lint.file sources with
+           | Some src -> not (file_suppresses_rule src f.Analysis.Lint.rule)
+           | None -> true)
+  in
+  let findings = per_line @ interface in
+  List.iter
+    (fun f -> Format.eprintf "%a@." Analysis.Lint.pp_finding f)
+    findings;
+  if findings <> [] then begin
+    Format.eprintf "clove-lint: %d finding(s) in %d file(s)@."
+      (List.length findings) (List.length ml_files);
+    exit 1
+  end
+  else
+    Format.printf "clove-lint: OK (%d .ml files, %d interfaces, 0 findings)@."
+      (List.length ml_files) (List.length mli_files)

@@ -27,7 +27,7 @@ let select_disjoint ~k candidates =
   if k <= 0 then []
   else begin
     (* collapse duplicate paths, first (lowest) port wins *)
-    let sorted = List.sort (fun (p1, _) (p2, _) -> compare p1 p2) candidates in
+    let sorted = List.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) candidates in
     let distinct =
       List.fold_left
         (fun acc (port, path) ->

@@ -62,6 +62,8 @@ let install t pairs =
     t.ports <- ports;
     t.paths <- paths;
     t.wrr <- Some (Wrr.create ~weights);
+    if !Analysis.Audit.on then
+      Analysis.Audit.check_weight_sum ~label:"Path_table.install" weights;
     t.utils <- utils;
     t.delays <- delays;
     t.last_congested <- congested;
@@ -132,7 +134,10 @@ let note_congested t ~port =
         Wrr.set_weight w i remaining;
         let share = cut /. float_of_int (List.length targets) in
         List.iter (fun j -> Wrr.set_weight w j (Wrr.weight w j +. share)) targets);
-      Wrr.normalize w)
+      Wrr.normalize w;
+      if !Analysis.Audit.on then
+        Analysis.Audit.check_weight_sum ~label:"Path_table.note_congested"
+          (Wrr.weights w))
 
 let note_util t ~port ~util =
   match Hashtbl.find_opt t.port_index port with
@@ -182,4 +187,7 @@ let age_weights t =
       for i = 0 to n - 1 do
         Wrr.set_weight w i (((1.0 -. a) *. Wrr.weight w i) +. (a *. uniform))
       done;
-      Wrr.normalize w
+      Wrr.normalize w;
+      if !Analysis.Audit.on then
+        Analysis.Audit.check_weight_sum ~label:"Path_table.age_weights"
+          (Wrr.weights w)

@@ -52,7 +52,9 @@ let drain t f =
 
 let flush_all t f =
   (* timeout or overflow: release everything in order, skipping holes *)
-  let seqs = Hashtbl.fold (fun s _ acc -> s :: acc) f.buffer [] |> List.sort compare in
+  let seqs =
+    Hashtbl.fold (fun s _ acc -> s :: acc) f.buffer [] |> List.sort Int.compare
+  in
   List.iter
     (fun s ->
       match Hashtbl.find_opt f.buffer s with

@@ -104,7 +104,7 @@ let rec start_cycle t st =
     st.port_states <- Hashtbl.create 32;
     (* trace currently installed ports plus fresh random ones *)
     let fresh = List.init t.cfg.Clove_config.probe_ports (fun _ -> random_port t) in
-    let ports = List.sort_uniq compare (st.installed_ports @ fresh) in
+    let ports = List.sort_uniq Int.compare (st.installed_ports @ fresh) in
     List.iter
       (fun port ->
         Hashtbl.replace st.port_states port { hops = Hashtbl.create 8; reached_ttl = -1 };
@@ -112,12 +112,15 @@ let rec start_cycle t st =
           send_probe t st ~port ~ttl
         done)
       ports;
-    ignore
-      (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_timeout (fun () ->
-           if not t.stopped then finalize_cycle t st));
-    ignore
-      (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_interval (fun () ->
-           start_cycle t st))
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_timeout (fun () ->
+          if not t.stopped then finalize_cycle t st)
+    in
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_interval (fun () ->
+          start_cycle t st)
+    in
+    ()
   end
 
 let add_destination t dst =

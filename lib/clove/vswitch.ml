@@ -109,7 +109,7 @@ let on_paths t ~dst pairs =
 
 let add_destination t dst =
   if needs_discovery t.scheme && not (Addr.equal dst (Host.addr t.host)) then begin
-    ignore (table t dst);
+    let (_ : Path_table.t) = table t dst in
     match t.daemon with
     | Some d -> Traceroute.add_destination d dst
     | None -> ()
@@ -352,6 +352,8 @@ let tx t pkt =
             cell;
           };
       pkt.Packet.size <- wire_size;
+      if !Analysis.Audit.on then
+        pkt.Packet.audit_seq <- Analysis.Audit.fifo_tx ~stream:flow_key ~port;
       (match t.scheme with
       | Clove_ecn -> pkt.Packet.ecn <- Packet.Ect
       | Clove_int ->
@@ -367,6 +369,9 @@ let rx_tenant t pkt (inner : Packet.inner) =
   match pkt.Packet.encap with
   | None -> Transport.Stack.deliver t.stack inner
   | Some e ->
+    if !Analysis.Audit.on && pkt.Packet.audit_seq >= 0 then
+      Analysis.Audit.fifo_rx ~stream:(Packet.tcp_flow_key inner)
+        ~port:e.Packet.src_port ~seq:pkt.Packet.audit_seq;
     (* source-side: apply feedback the peer piggybacked for us *)
     (match e.Packet.feedback with
     | Some fb -> apply_feedback t ~peer_hv:e.Packet.src_hv fb

@@ -1,27 +1,36 @@
 type 'a entry = { time : Sim_time.t; seq : int; value : 'a }
 
+(* Slots hold [Some entry] below [size] and [None] above it.  Option
+   slots replace the seed's [Obj.magic 0] sentinels: a [None] slot is
+   GC-safe for every ['a] (a magic 0 would crash the GC if ['a] were
+   instantiated at [float], which OCaml unboxes in arrays). *)
 type 'a t = {
-  mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
+  mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create ?(capacity = 256) () = { heap = Array.make (max capacity 1) (Obj.magic 0); size = 0; next_seq = 0 }
+let create ?(capacity = 256) () =
+  { heap = Array.make (max capacity 1) None; size = 0; next_seq = 0 }
+
+let get t i =
+  match t.heap.(i) with
+  | Some e -> e
+  | None -> assert false (* slots below [size] are always populated *)
 
 let lt a b =
   let c = Sim_time.compare a.time b.time in
   if c <> 0 then c < 0 else a.seq < b.seq
 
 let grow t =
-  let n = Array.length t.heap in
-  let heap = Array.make (2 * n) t.heap.(0) in
+  let heap = Array.make (2 * Array.length t.heap) None in
   Array.blit t.heap 0 heap 0 t.size;
   t.heap <- heap
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt t.heap.(i) t.heap.(parent) then begin
+    if lt (get t i) (get t parent) then begin
       let tmp = t.heap.(i) in
       t.heap.(i) <- t.heap.(parent);
       t.heap.(parent) <- tmp;
@@ -32,8 +41,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     let tmp = t.heap.(i) in
     t.heap.(i) <- t.heap.(!smallest);
@@ -45,30 +54,28 @@ let add t ~time value =
   if t.size = Array.length t.heap then grow t;
   let entry = { time; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  t.heap.(t.size) <- entry;
+  t.heap.(t.size) <- Some entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
       sift_down t 0
     end;
-    (* release reference for GC *)
-    t.heap.(t.size) <- Obj.magic 0;
+    (* release the vacated slot for GC *)
+    t.heap.(t.size) <- None;
     Some (top.time, top.value)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
 let size t = t.size
 let is_empty t = t.size = 0
 
 let clear t =
-  for i = 0 to t.size - 1 do
-    t.heap.(i) <- Obj.magic 0
-  done;
+  Array.fill t.heap 0 t.size None;
   t.size <- 0

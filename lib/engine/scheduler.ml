@@ -1,8 +1,15 @@
 type handle = { mutable live : bool; thunk : unit -> unit }
 
-type t = { mutable clock : Sim_time.t; queue : handle Event_queue.t }
+type t = { id : int; mutable clock : Sim_time.t; queue : handle Event_queue.t }
 
-let create () = { clock = Sim_time.zero; queue = Event_queue.create () }
+(* distinguishes schedulers in the invariant auditor's per-clock
+   monotonicity watermarks; scenarios may build several schedulers *)
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { id = !next_id; clock = Sim_time.zero; queue = Event_queue.create () }
+
 let now t = t.clock
 
 let schedule_at t ~time f =
@@ -19,14 +26,19 @@ let schedule_periodic t ~every f =
   if Sim_time.compare_span every Sim_time.zero_span <= 0 then
     invalid_arg "Scheduler.schedule_periodic: period must be positive";
   let rec tick () =
-    if f () then ignore (schedule t ~after:every tick)
+    if f () then
+      let (_ : handle) = schedule t ~after:every tick in
+      ()
   in
-  ignore (schedule t ~after:every tick)
+  let (_ : handle) = schedule t ~after:every tick in
+  ()
 
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, h) ->
+    if !Analysis.Audit.on then
+      Analysis.Audit.note_clock ~clock_id:t.id ~now_ns:(Sim_time.to_ns time);
     t.clock <- time;
     if h.live then begin
       h.live <- false;
@@ -49,7 +61,7 @@ let run ?until ?(max_events = max_int) t =
       | _ -> true)
   in
   while continue () do
-    ignore (step t);
+    let (_ : bool) = step t in
     incr fired
   done
 

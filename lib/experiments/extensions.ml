@@ -53,11 +53,21 @@ let build_fat_tree ~scheme ~seed ~degrade =
     ft_next_conn = 0;
   }
 
+let ft_vswitch scn host =
+  match Hashtbl.find_opt scn.ft_vswitches (Host.id host) with
+  | Some v -> v
+  | None -> invalid_arg "ft_connect: host has no vswitch"
+
+let ft_stack scn host =
+  match Hashtbl.find_opt scn.ft_stacks (Host.id host) with
+  | Some s -> s
+  | None -> invalid_arg "ft_connect: host has no stack"
+
 let ft_connect scn ~src ~dst =
   let conn_id = scn.ft_next_conn in
   scn.ft_next_conn <- conn_id + 1;
-  let v_src = Hashtbl.find scn.ft_vswitches (Host.id src) in
-  let v_dst = Hashtbl.find scn.ft_vswitches (Host.id dst) in
+  let v_src = ft_vswitch scn src in
+  let v_dst = ft_vswitch scn dst in
   Clove.Vswitch.add_destination v_src (Host.addr dst);
   Clove.Vswitch.add_destination v_dst (Host.addr src);
   let cfg = Transport.Tcp_config.default in
@@ -69,7 +79,7 @@ let ft_connect scn ~src ~dst =
       ~tx:(fun pkt -> Clove.Vswitch.tx v_src pkt)
       ()
   in
-  Transport.Stack.register_sender (Hashtbl.find scn.ft_stacks (Host.id src)) sender;
+  Transport.Stack.register_sender (ft_stack scn src) sender;
   let receiver =
     Transport.Tcp.create_receiver ~sched:scn.ft_sched ~cfg ~conn_id ~addr:(Host.addr dst)
       ~peer:(Host.addr src) ~src_port:80
@@ -77,7 +87,7 @@ let ft_connect scn ~src ~dst =
       ~tx:(fun pkt -> Clove.Vswitch.tx v_dst pkt)
       ()
   in
-  Transport.Stack.register_receiver (Hashtbl.find scn.ft_stacks (Host.id dst)) receiver;
+  Transport.Stack.register_receiver (ft_stack scn dst) receiver;
   fun ~bytes ~on_complete -> Transport.Tcp.send sender ~bytes ~on_complete
 
 let fat_tree_point ~scheme ~seed ~load ~jobs =
@@ -161,19 +171,19 @@ let failure_timeline ?(jobs = 2000) ?(seed = 3) () =
         (fun i client -> Scenario.connect scn ~src:client ~dst:servers.(i))
         (Scenario.clients scn)
     in
-    ignore rng;
     (* fail one S2-L2 link at t = 60 ms, while traffic is flowing; load
        0.4 keeps the pre-failure fabric clearly stable so the degradation
        and recovery stand out *)
     let topo = Fabric.topology (Scenario.fabric scn) in
-    ignore
-      (Scheduler.schedule_at sched
-         ~time:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 60)))
-         (fun () ->
-           let l2 = 1 and s2 = 3 in
-           match Topology.find_edge topo ~a:l2 ~b:s2 ~bundle_index:1 with
-           | Some e -> Fabric.fail_edge (Scenario.fabric scn) e
-           | None -> ()));
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule_at sched
+        ~time:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 60)))
+        (fun () ->
+          let l2 = 1 and s2 = 3 in
+          match Topology.find_edge topo ~a:l2 ~b:s2 ~bundle_index:1 with
+          | Some e -> Fabric.fail_edge (Scenario.fabric scn) e
+          | None -> ())
+    in
     let cfg =
       {
         Workload.Websearch.load = 0.4;
@@ -198,7 +208,7 @@ let failure_timeline ?(jobs = 2000) ?(seed = 3) () =
     | None -> nan
   in
   let buckets =
-    List.sort_uniq compare (List.map fst ecmp @ List.map fst clove)
+    List.sort_uniq Float.compare (List.map fst ecmp @ List.map fst clove)
   in
   List.iter
     (fun t0 ->

@@ -14,8 +14,13 @@ let picker t sw ~in_port pkt ~candidates =
   let n = Array.length candidates in
   if n = 1 then candidates.(0)
   else begin
-    let table = Hashtbl.find t.tables (Switch.id sw) in
-    let rng = Hashtbl.find t.rngs (Switch.id sw) in
+    let lookup tbl =
+      match Hashtbl.find_opt tbl (Switch.id sw) with
+      | Some v -> v
+      | None -> invalid_arg "Letflow.picker: switch not installed"
+    in
+    let table = lookup t.tables in
+    let rng = lookup t.rngs in
     let key = flow_key_of_packet pkt in
     let port =
       Clove.Flowlet.touch table ~key ~pick:(fun ~flowlet_id ->

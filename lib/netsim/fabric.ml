@@ -110,7 +110,11 @@ let create ~sched ~config topo =
         match entities.(dst_node) with
         | E_host h -> Link.set_sink link (fun pkt -> Host.deliver h pkt)
         | E_switch sw ->
-          let in_port = Hashtbl.find port_of (e.Topology.edge_id, dst_node) in
+          let in_port =
+            match Hashtbl.find_opt port_of (e.Topology.edge_id, dst_node) with
+            | Some p -> p
+            | None -> invalid_arg "Fabric.create: sink wiring for unregistered port"
+          in
           Link.set_sink link (fun pkt -> Switch.receive sw ~in_port pkt)
       in
       wire l_ab e.Topology.b;
@@ -142,7 +146,7 @@ let program_routes t =
             let ports =
               List.concat_map (fun peer -> Switch.ports_to_peer sw ~peer) peers
               |> List.filter (fun p -> Link.up (Switch.port_link sw p))
-              |> List.sort compare
+              |> List.sort Int.compare
             in
             if ports <> [] then
               Switch.set_routes sw (Host.addr h) (Array.of_list ports))

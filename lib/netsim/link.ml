@@ -38,6 +38,8 @@ let deliver t pkt =
   | None -> invalid_arg (Printf.sprintf "Link %s: no sink installed" t.label)
   | Some sink -> sink pkt
 
+let audit_drop reason = if !Analysis.Audit.on then Analysis.Audit.note_dropped ~reason
+
 let rec start_tx t =
   match Pkt_queue.dequeue t.queue with
   | None -> t.busy <- false
@@ -47,21 +49,32 @@ let rec start_tx t =
     t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
     t.tx_packets <- t.tx_packets + 1;
     let tx = Sim_time.tx_time ~bytes_len:pkt.Packet.size ~rate_bps:t.rate_bps in
-    ignore
-      (Scheduler.schedule t.sched ~after:tx (fun () ->
-           (* propagation: packet reaches the far end after prop_delay; the
-              serializer is free to start the next packet immediately *)
-           if t.is_up then
-             ignore
-               (Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
-                    if t.is_up then deliver t pkt));
-           start_tx t))
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule t.sched ~after:tx (fun () ->
+          (* propagation: packet reaches the far end after prop_delay; the
+             serializer is free to start the next packet immediately *)
+          (if t.is_up then
+             let (_ : Scheduler.handle) =
+               Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
+                   if t.is_up then deliver t pkt else audit_drop "link-down")
+             in
+             ()
+           else audit_drop "link-down");
+          start_tx t)
+    in
+    ()
 
 let send t pkt =
   if t.is_up then begin
-    if Pkt_queue.enqueue t.queue pkt then if not t.busy then start_tx t
+    if Pkt_queue.enqueue t.queue pkt then begin
+      if not t.busy then start_tx t
+    end
+    else audit_drop "queue-overflow"
   end
-  else t.down_drops <- t.down_drops + 1
+  else begin
+    t.down_drops <- t.down_drops + 1;
+    audit_drop "link-down"
+  end
 
 let up t = t.is_up
 
@@ -70,7 +83,11 @@ let set_up t v =
   if not v then begin
     (* drain the queue: a failed link loses its in-flight packets *)
     let rec drain () =
-      match Pkt_queue.dequeue t.queue with None -> () | Some _ -> drain ()
+      match Pkt_queue.dequeue t.queue with
+      | None -> ()
+      | Some _ ->
+        audit_drop "link-down";
+        drain ()
     in
     drain ();
     t.busy <- false

@@ -78,6 +78,7 @@ type t = {
   mutable int_enabled : bool;
   mutable int_util : float;
   mutable sent_at : Sim_time.t;
+  mutable audit_seq : int;
   payload : payload;
 }
 
@@ -98,6 +99,7 @@ let make ?(ttl = 64) ~size payload =
     int_enabled = false;
     int_util = 0.0;
     sent_at = Sim_time.zero;
+    audit_seq = -1;
     payload;
   }
 

@@ -113,6 +113,9 @@ type t = {
   mutable int_enabled : bool;
   mutable int_util : float;  (** max egress utilization along the path *)
   mutable sent_at : Sim_time.t;  (** set when first transmitted *)
+  mutable audit_seq : int;
+      (** per-(flow, outer-port) sequence stamped by the invariant
+          auditor's FIFO check; [-1] when auditing is off *)
   payload : payload;
 }
 

@@ -7,6 +7,8 @@ let distances topo ~dst =
     let u = Queue.take q in
     (* packets are never relayed through a host other than the endpoints *)
     if u = dst || not (Topology.is_host topo u) then begin
+      (* [u] is inserted into [dist] before it is ever enqueued, so the
+         key is always present — lint: allow hashtbl-find *)
       let du = Hashtbl.find dist u in
       List.iter
         (fun v ->

@@ -12,6 +12,7 @@ type t = {
   mutable int_capable : bool;
   mutable ports : port array;
   mutable nports : int;
+  unwired : port;  (* placeholder for unpopulated port slots *)
   routes : (Addr.t, int array) Hashtbl.t;
   mutable picker : picker option;
   mutable rx_hook : (t -> in_port:int -> Packet.t -> unit) option;
@@ -23,10 +24,19 @@ type t = {
 
 and picker = t -> in_port:int -> Packet.t -> candidates:int array -> int
 
-let dummy_port = Obj.magic 0
-
 let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
     ?(index_preserving = false) ?(int_capable = false) () =
+  (* a real (never-transmitting) port fills empty slots of the port
+     array, replacing the seed's GC-unsafe [Obj.magic 0] sentinel *)
+  let unwired =
+    {
+      link =
+        Link.create ~sched ~rate_bps:1.0 ~prop_delay:Sim_time.zero_span
+          ~label:"unwired" ();
+      peer = -1;
+      parallel_index = 0;
+    }
+  in
   {
     sched;
     id;
@@ -35,7 +45,8 @@ let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
     latency;
     index_preserving;
     int_capable;
-    ports = Array.make 8 dummy_port;
+    unwired;
+    ports = Array.make 8 unwired;
     nports = 0;
     routes = Hashtbl.create 64;
     picker = None;
@@ -52,7 +63,7 @@ let sched t = t.sched
 
 let add_port t ~link ~peer ~parallel_index =
   if t.nports = Array.length t.ports then begin
-    let ports = Array.make (2 * t.nports) dummy_port in
+    let ports = Array.make (2 * t.nports) t.unwired in
     Array.blit t.ports 0 ports 0 t.nports;
     t.ports <- ports
   end;
@@ -139,7 +150,9 @@ let answer_ttl_expired t ~in_port pkt =
 let forward t ~in_port pkt =
   let dst = Packet.route_dst pkt in
   match Hashtbl.find_opt t.routes dst with
-  | None | Some [||] -> t.routing_drops <- t.routing_drops + 1
+  | None | Some [||] ->
+    t.routing_drops <- t.routing_drops + 1;
+    if !Analysis.Audit.on then Analysis.Audit.note_dropped ~reason:"no-route"
   | Some candidates ->
     let port =
       match t.picker with
@@ -158,12 +171,21 @@ let receive t ~in_port pkt =
   pkt.Packet.ttl <- pkt.Packet.ttl - 1;
   if pkt.Packet.ttl <= 0 then begin
     t.ttl_drops <- t.ttl_drops + 1;
+    if !Analysis.Audit.on then Analysis.Audit.note_dropped ~reason:"ttl-expired";
     match answer_ttl_expired t ~in_port pkt with
     | None -> ()
     | Some reply ->
-      ignore
-        (Scheduler.schedule t.sched ~after:t.latency (fun () ->
-             forward t ~in_port:(-1) reply))
+      (* the reply is a switch-originated packet: a fresh injection as far
+         as packet conservation is concerned *)
+      if !Analysis.Audit.on then Analysis.Audit.note_injected ();
+      let (_ : Scheduler.handle) =
+        Scheduler.schedule t.sched ~after:t.latency (fun () ->
+            forward t ~in_port:(-1) reply)
+      in
+      ()
   end
   else
-    ignore (Scheduler.schedule t.sched ~after:t.latency (fun () -> forward t ~in_port pkt))
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule t.sched ~after:t.latency (fun () -> forward t ~in_port pkt)
+    in
+    ()

@@ -113,8 +113,9 @@ let leaf_spine ~leaves ~spines ~hosts_per_leaf ~parallel ~host_rate_bps ~fabric_
     Array.init leaves (fun leaf ->
         Array.init hosts_per_leaf (fun _ ->
             let h = add_host topo in
-            ignore
-              (connect topo h leaf_ids.(leaf) ~rate_bps:host_rate_bps ~delay:host_delay ());
+            let (_ : edge) =
+              connect topo h leaf_ids.(leaf) ~rate_bps:host_rate_bps ~delay:host_delay ()
+            in
             h))
   in
   Array.iter
@@ -122,9 +123,11 @@ let leaf_spine ~leaves ~spines ~hosts_per_leaf ~parallel ~host_rate_bps ~fabric_
       Array.iter
         (fun spine ->
           for k = 0 to parallel - 1 do
-            ignore
-              (connect topo leaf spine ~rate_bps:fabric_rate_bps ~delay:fabric_delay
-                 ~bundle_index:k ())
+            let (_ : edge) =
+              connect topo leaf spine ~rate_bps:fabric_rate_bps ~delay:fabric_delay
+                ~bundle_index:k ()
+            in
+            ()
           done)
         spine_ids)
     leaf_ids;
@@ -143,9 +146,10 @@ let fat_tree ~k ~host_rate_bps ~fabric_rate_bps ~host_delay ~fabric_delay =
           (List.init half (fun e ->
                Array.init half (fun _ ->
                    let h = add_host topo in
-                   ignore
-                     (connect topo h edges.(pod).(e) ~rate_bps:host_rate_bps
-                        ~delay:host_delay ());
+                   let (_ : edge) =
+                     connect topo h edges.(pod).(e) ~rate_bps:host_rate_bps
+                       ~delay:host_delay ()
+                   in
                    h))))
   in
   for pod = 0 to k - 1 do
@@ -153,14 +157,21 @@ let fat_tree ~k ~host_rate_bps ~fabric_rate_bps ~host_delay ~fabric_delay =
     Array.iter
       (fun e ->
         Array.iter
-          (fun a -> ignore (connect topo e a ~rate_bps:fabric_rate_bps ~delay:fabric_delay ()))
+          (fun a ->
+            let (_ : edge) =
+              connect topo e a ~rate_bps:fabric_rate_bps ~delay:fabric_delay ()
+            in
+            ())
           aggs.(pod))
       edges.(pod);
     (* agg j connects to cores [j*half .. j*half + half - 1] *)
     Array.iteri
       (fun j a ->
         for c = j * half to (j * half) + half - 1 do
-          ignore (connect topo a cores.(c) ~rate_bps:fabric_rate_bps ~delay:fabric_delay ())
+          let (_ : edge) =
+            connect topo a cores.(c) ~rate_bps:fabric_rate_bps ~delay:fabric_delay ()
+          in
+          ()
         done)
       aggs.(pod)
   done;

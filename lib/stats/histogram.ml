@@ -25,7 +25,7 @@ let bin_bounds t i =
   (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
 
 let fraction_above t x =
-  if t.total = 0.0 then 0.0
+  if t.total <= 0.0 then 0.0
   else begin
     let acc = ref 0.0 in
     for i = 0 to Array.length t.bins - 1 do

@@ -124,7 +124,9 @@ let on_acked t k bytes =
       g.g_job.outstanding <- g.g_job.outstanding - consumed;
       maybe_complete g.g_job
     end;
-    if g.g_bytes = 0 then ignore (Queue.pop t.grants.(k))
+    if g.g_bytes = 0 then
+      let (_ : grant) = Queue.pop t.grants.(k) in
+      ()
   done;
   gc_jobs t
 

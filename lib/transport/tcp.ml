@@ -235,7 +235,7 @@ let complete_jobs s =
   let rec loop () =
     match Queue.peek_opt s.jobs with
     | Some job when job.end_seq <= s.snd_una ->
-      ignore (Queue.pop s.jobs);
+      let (_ : job) = Queue.pop s.jobs in
       job.on_complete ();
       loop ()
     | _ -> ()

@@ -46,7 +46,7 @@ let timeline t ~bucket_sec =
       Stats.Summary.add s r.fct_sec)
     t.records;
   Hashtbl.fold (fun b s acc -> (float_of_int b *. bucket_sec, s) :: acc) buckets []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
 
 let mice_cutoff = 100_000
 let elephant_cutoff = 10_000_000

@@ -25,10 +25,11 @@ let run ~sched ~rng ~server_submits ~fanout ~total_bytes ~requests ~start_at =
       done
     end
   in
-  ignore
-    (Scheduler.schedule sched ~after:start_at (fun () ->
-         t_begin := Scheduler.now sched;
-         request 0));
+  let (_ : Scheduler.handle) =
+    Scheduler.schedule sched ~after:start_at (fun () ->
+        t_begin := Scheduler.now sched;
+        request 0)
+  in
   while (not !done_all) && Scheduler.step sched do
     ()
   done;

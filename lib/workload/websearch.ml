@@ -34,15 +34,19 @@ let run ~sched ~rng ~conns cfg =
       let rec arrive issued =
         if issued < cfg.jobs_per_conn then begin
           let gap = Sim_time.sec (Rng.exponential conn_rng ~mean:mean_gap_sec) in
-          ignore
-            (Scheduler.schedule sched ~after:gap (fun () ->
-                 submit_job conn_rng submit;
-                 arrive (issued + 1)))
+          let (_ : Scheduler.handle) =
+            Scheduler.schedule sched ~after:gap (fun () ->
+                submit_job conn_rng submit;
+                arrive (issued + 1))
+          in
+          ()
         end
       in
       (* shift the whole process past the warmup *)
-      ignore
-        (Scheduler.schedule sched ~after:cfg.start_at (fun () -> arrive 0)))
+      let (_ : Scheduler.handle) =
+        Scheduler.schedule sched ~after:cfg.start_at (fun () -> arrive 0)
+      in
+      ())
     conns;
   while !remaining > 0 && Scheduler.step sched do
     ()
