@@ -1,9 +1,11 @@
 (* clove-sim: command-line front end for the Clove reproduction.
 
    Subcommands:
-     run   — one workload point (scheme, load, topology), prints FCT stats
-     exp   — regenerate a paper figure by id (fig4b ... fig9, ablations)
-     list  — list available experiments *)
+     run         — one workload point (scheme, load, topology), prints FCT stats
+     exp         — regenerate a paper figure by id (fig4b ... fig9, ablations)
+     list        — list available experiments
+     determinism — schedule-perturbation sanitizer: same-seed digests must
+                   survive perturbed tie-breaking and Hashtbl sizing *)
 
 open Cmdliner
 open Experiments
@@ -138,6 +140,42 @@ let exp_cmd =
        ~doc:"Regenerate one or more paper figures (all of them by default).")
     term
 
+let determinism_cmd =
+  let run scheme load jobs seed asym hosts =
+    let params =
+      {
+        Scenario.default_params with
+        Scenario.asymmetric = asym;
+        seed;
+        hosts_per_leaf = hosts;
+        fabric_rate_bps = float_of_int hosts *. 10e9 /. 4.0;
+      }
+    in
+    let digest () =
+      let fct = Sweep.websearch_run ~scheme ~params ~load ~jobs_per_conn:jobs in
+      Digest.to_hex (Digest.string (Workload.Fct_stats.canonical_dump fct))
+    in
+    let label =
+      Printf.sprintf "%s seed=%d load=%.2f" (Scenario.scheme_name scheme) seed
+        load
+    in
+    let result = Analysis.Perturb.check_schedule_stability ~label ~run:digest () in
+    Format.printf "%a@." Analysis.Perturb.pp_outcomes result;
+    if not (Analysis.Perturb.stable (snd result)) then exit 1
+  in
+  let term =
+    Term.(
+      const run $ scheme_arg $ load_arg $ jobs_arg $ seed_arg $ asym_arg
+      $ hosts_arg)
+  in
+  Cmd.v
+    (Cmd.info "determinism"
+       ~doc:
+         "Re-run one seeded workload point under perturbed event-queue \
+          tie-breaking and hashtable sizing and compare FCT digests; exits 1 \
+          on any mismatch.")
+    term
+
 let list_cmd =
   let run () =
     List.iter (fun (id, _) -> print_endline id) (Figures.all ());
@@ -148,4 +186,4 @@ let list_cmd =
 let () =
   let doc = "Clove (CoNEXT'17) reproduction: congestion-aware edge load balancing." in
   let info = Cmd.info "clove-sim" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd; determinism_cmd ]))

@@ -27,7 +27,7 @@ let () =
   Clove.Vswitch.add_destination v (Host.addr server);
 
   (* let one discovery cycle complete *)
-  Scheduler.run ~until:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 15))) (Scenario.sched scn);
+  Scheduler.run ~until:(Sim_time.of_span (Sim_time.ms 15)) (Scenario.sched scn);
   print_paths "after first discovery cycle (4 disjoint paths expected)" v
     (Host.addr server);
 
@@ -53,9 +53,7 @@ let () =
   | None -> Format.printf "no edge found to fail@.");
 
   (* run until the next probe cycle (500 ms period) completes *)
-  Scheduler.run
-    ~until:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 530)))
-    sched;
+  Scheduler.run ~until:(Sim_time.of_span (Sim_time.ms 530)) sched;
   print_paths "after rediscovery (3 distinct paths expected)" v (Host.addr server);
   let stats_after = Clove.Vswitch.stats v in
   ignore stats_before;

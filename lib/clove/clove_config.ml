@@ -22,23 +22,22 @@ type t = {
 }
 
 let with_rtt rtt =
-  let ns = Sim_time.span_ns rtt in
   {
     rtt_estimate = rtt;
     flowlet_gap = rtt;
     k_paths = 8;
     weight_cut = 1.0 /. 3.0;
     min_weight = 0.02;
-    ecn_relay_interval = Sim_time.span_of_ns (ns / 2);
-    congested_window = Sim_time.span_of_ns (4 * ns);
+    ecn_relay_interval = Sim_time.mul_span rtt 0.5;
+    congested_window = Sim_time.mul_span rtt 4.0;
     weight_aging = 0.0;
     probe_interval = Sim_time.ms 500;
     probe_ports = 32;
     max_ttl = 8;
     probe_timeout = Sim_time.ms 10;
-    feedback_deadline = Sim_time.span_of_ns (2 * ns);
+    feedback_deadline = Sim_time.mul_span rtt 2.0;
     presto_cell_bytes = 64 * 1024;
-    presto_reorder_timeout = Sim_time.span_of_ns (10 * ns);
+    presto_reorder_timeout = Sim_time.mul_span rtt 10.0;
     presto_buffer_limit = 512;
     rewrite_mode = false;
     clove_reorder = false;

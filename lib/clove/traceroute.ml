@@ -5,9 +5,11 @@ type port_state = {
 
 type dst_state = {
   dst : Addr.t;
+  rng : Rng.t; (* per-destination stream: draws never shift other dsts *)
   pending : (int, int * int) Hashtbl.t; (* probe_id -> (port, ttl) *)
   mutable port_states : (int, port_state) Hashtbl.t;
   mutable installed_ports : int list;
+  mutable next_probe : int;
 }
 
 type t = {
@@ -18,11 +20,18 @@ type t = {
   tx : Packet.t -> unit;
   on_paths : dst:Addr.t -> (int * Clove_path.t) list -> unit;
   dsts : (int, dst_state) Hashtbl.t;
-  mutable probe_id : int;
   mutable probes_sent : int;
   mutable cycles : int;
   mutable stopped : bool;
 }
+
+(* Probe ids carry the destination key in the high bits so a reply maps
+   back to its destination in O(1), independent of the order in which
+   destinations were registered.  20 id bits allow ~1M outstanding probe
+   ids per destination per daemon lifetime before wraparound, far beyond
+   any experiment. *)
+let probe_id_bits = 20
+let probe_id_mask = (1 lsl probe_id_bits) - 1
 
 let create ~sched ~cfg ~rng ~host_addr ~tx ~on_paths =
   {
@@ -32,8 +41,7 @@ let create ~sched ~cfg ~rng ~host_addr ~tx ~on_paths =
     host_addr;
     tx;
     on_paths;
-    dsts = Hashtbl.create 16;
-    probe_id = 0;
+    dsts = Det.create 16;
     probes_sent = 0;
     cycles = 0;
     stopped = false;
@@ -42,12 +50,11 @@ let create ~sched ~cfg ~rng ~host_addr ~tx ~on_paths =
 let probes_sent t = t.probes_sent
 let cycles_completed t = t.cycles
 let stop t = t.stopped <- true
+let random_port (st : dst_state) = 49152 + Rng.int st.rng 16384
 
-let random_port t = 49152 + Rng.int t.rng 16384
-
-let send_probe t st ~port ~ttl =
-  t.probe_id <- t.probe_id + 1;
-  let id = t.probe_id in
+let send_probe t st ~key ~port ~ttl =
+  let id = (key lsl probe_id_bits) lor (st.next_probe land probe_id_mask) in
+  st.next_probe <- st.next_probe + 1;
   Hashtbl.replace st.pending id (port, ttl);
   let pkt =
     Packet.make ~ttl ~size:(64 + Packet.encap_header_bytes)
@@ -73,8 +80,10 @@ let send_probe t st ~port ~ttl =
   t.tx pkt
 
 let finalize_cycle t st =
+  (* Candidate order feeds the greedy disjoint-path pick, so iterate the
+     port table in sorted order rather than bucket order. *)
   let candidates =
-    Hashtbl.fold
+    Det.fold_sorted ~compare:Int.compare
       (fun port ps acc ->
         if ps.reached_ttl >= 1 then begin
           let rec collect ttl acc_hops =
@@ -91,25 +100,25 @@ let finalize_cycle t st =
         else acc)
       st.port_states []
   in
-  let picked = Clove_path.select_disjoint ~k:t.cfg.Clove_config.k_paths candidates in
+  let picked = Clove_path.select_disjoint ~k:t.cfg.Clove_config.k_paths (List.rev candidates) in
   t.cycles <- t.cycles + 1;
   if picked <> [] then begin
     st.installed_ports <- List.map fst picked;
     t.on_paths ~dst:st.dst picked
   end
 
-let rec start_cycle t st =
+let rec run_cycle t ~key st =
   if not t.stopped then begin
     Hashtbl.reset st.pending;
-    st.port_states <- Hashtbl.create 32;
+    st.port_states <- Det.create 32;
     (* trace currently installed ports plus fresh random ones *)
-    let fresh = List.init t.cfg.Clove_config.probe_ports (fun _ -> random_port t) in
+    let fresh = List.init t.cfg.Clove_config.probe_ports (fun _ -> random_port st) in
     let ports = List.sort_uniq Int.compare (st.installed_ports @ fresh) in
     List.iter
       (fun port ->
-        Hashtbl.replace st.port_states port { hops = Hashtbl.create 8; reached_ttl = -1 };
+        Hashtbl.replace st.port_states port { hops = Det.create 8; reached_ttl = -1 };
         for ttl = 1 to t.cfg.Clove_config.max_ttl do
-          send_probe t st ~port ~ttl
+          send_probe t st ~key ~port ~ttl
         done)
       ports;
     let (_ : Scheduler.handle) =
@@ -118,7 +127,7 @@ let rec start_cycle t st =
     in
     let (_ : Scheduler.handle) =
       Scheduler.schedule t.sched ~after:t.cfg.Clove_config.probe_interval (fun () ->
-          start_cycle t st)
+          run_cycle t ~key st)
     in
     ()
   end
@@ -127,31 +136,46 @@ let add_destination t dst =
   let key = Addr.to_int dst in
   if not (Hashtbl.mem t.dsts key) then begin
     let st =
-      { dst; pending = Hashtbl.create 64; port_states = Hashtbl.create 32; installed_ports = [] }
+      {
+        dst;
+        rng = Rng.split_named t.rng ("dst:" ^ string_of_int key);
+        pending = Det.create 64;
+        port_states = Det.create 32;
+        installed_ports = [];
+        next_probe = 0;
+      }
     in
     Hashtbl.replace t.dsts key st;
-    start_cycle t st
+    (* Desynchronize the first cycle with a small deterministic jitter so
+       daemons started at the same instant do not emit interleavable probe
+       storms whose relative order a schedule perturbation could flip.
+       Capped at half the probe timeout so discovery still completes
+       within [probe_timeout * 3/2] of registration. *)
+    let jitter =
+      Sim_time.mul_span t.cfg.Clove_config.probe_timeout (Rng.float st.rng 0.5)
+    in
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule t.sched ~after:jitter (fun () -> run_cycle t ~key st)
+    in
+    ()
   end
 
 let on_reply t (reply : Packet.probe_reply) =
-  (* find which destination's cycle this probe belongs to *)
-  let exception Found of dst_state * int * int in
-  try
-    Hashtbl.iter
-      (fun _ st ->
-        match Hashtbl.find_opt st.pending reply.Packet.reply_probe_id with
-        | Some (port, ttl) -> raise (Found (st, port, ttl))
-        | None -> ())
-      t.dsts
-  with Found (st, port, ttl) -> (
-    Hashtbl.remove st.pending reply.Packet.reply_probe_id;
-    match Hashtbl.find_opt st.port_states port with
+  let key = reply.Packet.reply_probe_id lsr probe_id_bits in
+  match Hashtbl.find_opt t.dsts key with
+  | None -> ()
+  | Some st -> (
+    match Hashtbl.find_opt st.pending reply.Packet.reply_probe_id with
     | None -> ()
-    | Some ps -> (
-      match reply.Packet.reply_hop with
-      | Some hop -> Hashtbl.replace ps.hops ttl hop
-      | None ->
-        if ps.reached_ttl < 0 || ttl < ps.reached_ttl then ps.reached_ttl <- ttl))
+    | Some (port, ttl) -> (
+      Hashtbl.remove st.pending reply.Packet.reply_probe_id;
+      match Hashtbl.find_opt st.port_states port with
+      | None -> ()
+      | Some ps -> (
+        match reply.Packet.reply_hop with
+        | Some hop -> Hashtbl.replace ps.hops ttl hop
+        | None ->
+          if ps.reached_ttl < 0 || ttl < ps.reached_ttl then ps.reached_ttl <- ttl)))
 
 let answer_probe ~host_addr ~remaining_ttl (p : Packet.probe_info) =
   Packet.make ~size:64

@@ -120,7 +120,7 @@ let peer_state t hv =
   match Hashtbl.find_opt t.peers key with
   | Some p -> p
   | None ->
-    let p = { fb_queue = Queue.create (); last_relay = Hashtbl.create 8; fb_timer = None } in
+    let p = { fb_queue = Queue.create (); last_relay = Det.create 8; fb_timer = None } in
     Hashtbl.replace t.peers key p;
     p
 
@@ -437,16 +437,16 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
         scheme;
         cfg;
         rng;
-        tables = Hashtbl.create 16;
+        tables = Det.create 16;
         flowlets = Flowlet.create ~sched ~gap:cfg.Clove_config.flowlet_gap;
-        presto_flows = Hashtbl.create 64;
-        presto_weights = Hashtbl.create 16;
+        presto_flows = Det.create 64;
+        presto_weights = Det.create 16;
         presto_weight_fn = (fun _ -> 1.0);
         presto_rx =
           Presto_rx.create ~sched ~cfg ~deliver:(fun inner ->
               Transport.Stack.deliver stack inner);
-        reorder_seq = Hashtbl.create 64;
-        peers = Hashtbl.create 16;
+        reorder_seq = Det.create 64;
+        peers = Det.create 16;
         daemon = None;
         s_tx = 0;
         s_rx = 0;
@@ -460,7 +460,9 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
   if needs_discovery scheme then
     t.daemon <-
       Some
-        (Traceroute.create ~sched ~cfg ~rng:(Rng.split rng) ~host_addr:(Host.addr host)
+        (Traceroute.create ~sched ~cfg
+           ~rng:(Rng.split_named rng "traceroute")
+           ~host_addr:(Host.addr host)
            ~tx:(fun pkt -> Host.send host pkt)
            ~on_paths:(fun ~dst pairs -> on_paths t ~dst pairs));
   Host.set_handler host (fun pkt -> rx t pkt);

@@ -18,9 +18,17 @@ let get t i =
   | Some e -> e
   | None -> assert false (* slots below [size] are always populated *)
 
+(* Same-timestamp events fire in schedule order (FIFO on [seq]).  The
+   perturbation sanitizer reverses the tie-break between complete runs to
+   check nothing depends on it; the knob must never change while a queue
+   is non-empty (the heap invariant assumes a fixed comparator). *)
 let lt a b =
   let c = Sim_time.compare a.time b.time in
-  if c <> 0 then c < 0 else a.seq < b.seq
+  if c <> 0 then c < 0
+  else
+    match !Analysis.Perturb.tiebreak with
+    | Analysis.Perturb.Fifo -> a.seq < b.seq
+    | Analysis.Perturb.Lifo -> a.seq > b.seq
 
 let grow t =
   let heap = Array.make (2 * Array.length t.heap) None in

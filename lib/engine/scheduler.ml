@@ -1,6 +1,11 @@
 type handle = { mutable live : bool; thunk : unit -> unit }
 
-type t = { id : int; mutable clock : Sim_time.t; queue : handle Event_queue.t }
+type t = {
+  id : int;
+  mutable clock : Sim_time.t;
+  mutable fired : int;
+  queue : handle Event_queue.t;
+}
 
 (* distinguishes schedulers in the invariant auditor's per-clock
    monotonicity watermarks; scenarios may build several schedulers *)
@@ -8,7 +13,7 @@ let next_id = ref 0
 
 let create () =
   incr next_id;
-  { id = !next_id; clock = Sim_time.zero; queue = Event_queue.create () }
+  { id = !next_id; clock = Sim_time.zero; fired = 0; queue = Event_queue.create () }
 
 let now t = t.clock
 
@@ -40,6 +45,7 @@ let step t =
     if !Analysis.Audit.on then
       Analysis.Audit.note_clock ~clock_id:t.id ~now_ns:(Sim_time.to_ns time);
     t.clock <- time;
+    t.fired <- t.fired + 1;
     if h.live then begin
       h.live <- false;
       h.thunk ()
@@ -66,3 +72,4 @@ let run ?until ?(max_events = max_int) t =
   done
 
 let pending_events t = Event_queue.size t.queue
+let events_fired t = t.fired

@@ -40,3 +40,7 @@ val step : t -> bool
 (** Fire the single earliest event; [false] if the queue was empty. *)
 
 val pending_events : t -> int
+
+val events_fired : t -> int
+(** Total events dispatched since creation (throughput accounting for the
+    benchmark harness). *)

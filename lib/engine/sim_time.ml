@@ -32,6 +32,7 @@ let mul_span s f =
   else int_of_float ((float_of_int s *. f) +. 0.5)
 
 let zero_span = 0
+let of_span s = s
 let to_sec t = float_of_int t /. 1e9
 
 let pp fmt t =

@@ -55,6 +55,10 @@ val mul_span : span -> float -> span
 
 val zero_span : span
 
+val of_span : span -> t
+(** The instant a [span] after the epoch (for horizons like
+    [Scheduler.run ~until:(of_span (ms 60))]), avoiding raw ns casts. *)
+
 val to_sec : t -> float
 (** Seconds since the epoch, for reporting. *)
 

@@ -34,12 +34,16 @@ let build_fat_tree ~scheme ~seed ~degrade =
     | None -> invalid_arg "fat_tree: expected agg-core edge"
   end;
   let cfg = Clove.Clove_config.with_rtt (Sim_time.us 60) in
-  let stacks = Hashtbl.create 32 and vswitches = Hashtbl.create 32 in
+  let stacks = Det.create 32 and vswitches = Det.create 32 in
   Array.iter
     (fun host ->
       let st = Transport.Stack.create () in
       Hashtbl.replace stacks (Host.id host) st;
-      let v = Clove.Vswitch.create ~host ~stack:st ~scheme ~cfg ~rng:(Rng.split rng) () in
+      let v =
+        Clove.Vswitch.create ~host ~stack:st ~scheme ~cfg
+          ~rng:(Rng.split_named rng ("host:" ^ string_of_int (Host.id host)))
+          ()
+      in
       Hashtbl.replace vswitches (Host.id host) v)
     (Fabric.hosts fabric);
   let host_of id = Fabric.host_by_addr fabric (Addr.of_int id) in
@@ -111,8 +115,8 @@ let fat_tree_point ~scheme ~seed ~load ~jobs =
     }
   in
   let fct = Workload.Websearch.run ~sched:scn.ft_sched ~rng:scn.ft_rng ~conns cfg in
-  Hashtbl.iter (fun _ v -> Clove.Vswitch.stop v) scn.ft_vswitches;
-  Hashtbl.iter (fun _ s -> Transport.Stack.stop_all s) scn.ft_stacks;
+  Det.iter_sorted ~compare:Int.compare (fun _ v -> Clove.Vswitch.stop v) scn.ft_vswitches;
+  Det.iter_sorted ~compare:Int.compare (fun _ s -> Transport.Stack.stop_all s) scn.ft_stacks;
   Workload.Fct_stats.avg fct
 
 let fat_tree ?opts () =
@@ -176,8 +180,7 @@ let failure_timeline ?(jobs = 2000) ?(seed = 3) () =
        and recovery stand out *)
     let topo = Fabric.topology (Scenario.fabric scn) in
     let (_ : Scheduler.handle) =
-      Scheduler.schedule_at sched
-        ~time:(Sim_time.of_ns (Sim_time.span_ns (Sim_time.ms 60)))
+      Scheduler.schedule_at sched ~time:(Sim_time.of_span (Sim_time.ms 60))
         (fun () ->
           let l2 = 1 and s2 = 3 in
           match Topology.find_edge topo ~a:l2 ~b:s2 ~bundle_index:1 with

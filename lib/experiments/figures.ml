@@ -113,7 +113,7 @@ let fig6 ?opts ?params () =
   let opts = opt_or Sweep.default_opts opts in
   let params = opt_or Scenario.default_params params in
   let params = { params with Scenario.asymmetric = true } in
-  let rtt_ns = Sim_time.span_ns params.Scenario.rtt_estimate in
+  let rtt = params.Scenario.rtt_estimate in
   let variants =
     [
       ("Clove-best (1*RTT, 20pkts)", 1.0, 20);
@@ -132,8 +132,7 @@ let fig6 ?opts ?params () =
             let params =
               {
                 params with
-                Scenario.flowlet_gap =
-                  Some (Sim_time.span_of_ns (int_of_float (float_of_int rtt_ns *. gap_mult)));
+                Scenario.flowlet_gap = Some (Sim_time.mul_span rtt gap_mult);
                 ecn_threshold_pkts = thresh;
               }
             in
@@ -281,8 +280,7 @@ let ablation_relay ?opts ?params () =
     ~apply:(fun p mult ->
       {
         p with
-        Scenario.rtt_estimate =
-          Sim_time.span_of_ns (int_of_float (float_of_int (Sim_time.span_ns rtt) *. mult));
+        Scenario.rtt_estimate = Sim_time.mul_span rtt mult;
         flowlet_gap = Some rtt;
       })
     ~opts ~params

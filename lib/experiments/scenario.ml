@@ -192,7 +192,7 @@ let build ~scheme params =
     | None -> cfg
     | Some every -> { cfg with Clove.Clove_config.probe_interval = every }
   in
-  let stacks = Hashtbl.create 64 and vswitches = Hashtbl.create 64 in
+  let stacks = Det.create 64 and vswitches = Det.create 64 in
   let degraded_spine = ls.Topology.spine_ids.(1) in
   Array.iter
     (fun host ->
@@ -200,7 +200,9 @@ let build ~scheme params =
       Hashtbl.replace stacks (Host.id host) st;
       let v =
         Clove.Vswitch.create ~host ~stack:st ~scheme:(vswitch_scheme scheme)
-          ~cfg:clove_cfg ~rng:(Rng.split rng) ()
+          ~cfg:clove_cfg
+          ~rng:(Rng.split_named rng ("host:" ^ string_of_int (Host.id host)))
+          ()
       in
       (* Presto gets the paper's "benefit of the doubt": ideal static path
          weights reflecting the asymmetric topology *)
@@ -217,7 +219,7 @@ let build ~scheme params =
   let servers = Array.map host_of_node ls.Topology.host_ids.(1) in
   let letflow =
     if scheme = S_letflow then
-      Some (Fabric_lb.Letflow.install ~seed:params.seed fabric)
+      Some (Fabric_lb.Letflow.install ~rng:(Rng.split_named rng "letflow") fabric)
     else None
   in
   let conga =
@@ -301,8 +303,8 @@ let total_drops t = Fabric.total_drops t.fabric
 let total_marks t = Fabric.total_marks t.fabric
 
 let quiesce t =
-  Hashtbl.iter (fun _ v -> Clove.Vswitch.stop v) t.vswitches;
-  Hashtbl.iter (fun _ s -> Transport.Stack.stop_all s) t.stacks;
+  Det.iter_sorted ~compare:Int.compare (fun _ v -> Clove.Vswitch.stop v) t.vswitches;
+  Det.iter_sorted ~compare:Int.compare (fun _ s -> Transport.Stack.stop_all s) t.stacks;
   ignore t.conga;
   ignore t.letflow;
   ignore t.clove_cfg;

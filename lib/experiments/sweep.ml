@@ -13,8 +13,15 @@ let build_conns scn =
     (Array.to_list
        (Array.map
           (fun client ->
-            Array.init per_client (fun _ ->
-                let server = Rng.pick rng servers in
+            Array.init per_client (fun j ->
+                (* server choice comes from a stream named after the
+                   (client, slot) pair, so adding clients or connections
+                   never re-deals another connection's server *)
+                let r =
+                  Rng.split_named rng
+                    (Printf.sprintf "conn:%d:%d" (Host.id client) j)
+                in
+                let server = Rng.pick r servers in
                 Scenario.connect scn ~src:client ~dst:server))
           (Scenario.clients scn)))
 

@@ -32,15 +32,15 @@ let picker t sw ~in_port pkt ~candidates =
     else candidates.(Rng.int rng n)
   end
 
-let install ?(flowlet_gap = Sim_time.us 500) ~seed fabric =
+let install ?(flowlet_gap = Sim_time.us 500) ~rng fabric =
   let sched = Fabric.sched fabric in
-  let t = { tables = Hashtbl.create 8; rngs = Hashtbl.create 8 } in
-  let master = Rng.create seed in
+  let t = { tables = Det.create 8; rngs = Det.create 8 } in
   Array.iter
     (fun sw ->
       Hashtbl.replace t.tables (Switch.id sw)
         (Clove.Flowlet.create ~sched ~gap:flowlet_gap);
-      Hashtbl.replace t.rngs (Switch.id sw) (Rng.split master);
+      Hashtbl.replace t.rngs (Switch.id sw)
+        (Rng.split_named rng ("switch:" ^ string_of_int (Switch.id sw)));
       Switch.set_picker sw (picker t))
     (Fabric.switches fabric);
   t

@@ -1,5 +1,5 @@
 let distances topo ~dst =
-  let dist = Hashtbl.create 64 in
+  let dist = Det.create 64 in
   Hashtbl.replace dist dst 0;
   let q = Queue.create () in
   Queue.add dst q;
@@ -23,8 +23,8 @@ let distances topo ~dst =
 
 let next_hops topo ~dst =
   let dist = distances topo ~dst in
-  let result = Hashtbl.create 64 in
-  Hashtbl.iter
+  let result = Det.create 64 in
+  Det.iter_sorted ~compare:Int.compare
     (fun u du ->
       if u <> dst then begin
         let hops =

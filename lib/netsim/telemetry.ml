@@ -29,11 +29,19 @@ let take sched w =
 
 let watch ~sched ~period ~links =
   if links = [] then invalid_arg "Telemetry.watch: no links";
-  let table = Hashtbl.create 16 in
+  let table = Det.create 16 in
   List.iter (fun (name, link) -> Hashtbl.replace table name { link; samples = [] }) links;
   let t = { table; order = List.map fst links; running = true } in
   Scheduler.schedule_periodic sched ~every:period (fun () ->
-      if t.running then Hashtbl.iter (fun _ w -> take sched w) table;
+      (* walk the declared watch order, not bucket order: [take] mutates
+         per-link sample lists *)
+      if t.running then
+        List.iter
+          (fun name ->
+            match Hashtbl.find_opt table name with
+            | Some w -> take sched w
+            | None -> ())
+          t.order;
       t.running);
   t
 

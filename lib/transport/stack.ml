@@ -7,11 +7,15 @@ type t = {
 
 let create () =
   {
-    senders = Hashtbl.create 32;
-    receivers = Hashtbl.create 32;
-    by_dst = Hashtbl.create 8;
+    senders = Det.create 32;
+    receivers = Det.create 32;
+    by_dst = Det.create 8;
     unknown = 0;
   }
+
+let compare_key (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
 
 let register_sender t s =
   Hashtbl.replace t.senders (Tcp.conn_id s, Tcp.subflow_id s) s;
@@ -41,6 +45,8 @@ let ecn_signal_all t ~dst =
   | Some r -> List.iter Tcp.ecn_signal !r
   | None -> ()
 
-let senders t = Hashtbl.fold (fun _ s acc -> s :: acc) t.senders []
+let senders t =
+  Det.fold_sorted ~compare:compare_key (fun _ s acc -> s :: acc) t.senders []
+
 let unknown_drops t = t.unknown
-let stop_all t = Hashtbl.iter (fun _ s -> Tcp.stop s) t.senders
+let stop_all t = Det.iter_sorted ~compare:compare_key (fun _ s -> Tcp.stop s) t.senders

@@ -300,6 +300,8 @@ let on_ack s (seg : Packet.tcp_seg) =
       | Some (pseq, t0) when ack >= pseq ->
         let sample = Sim_time.diff (Scheduler.now s.sched) t0 in
         Rtt_estimator.sample s.rtt sample;
+        (* the CC heuristics below mirror RTTs as a raw ns float for cheap
+           ratio tests — lint: allow sema-time-boundary *)
         let ns = float_of_int (Sim_time.span_ns sample) in
         if ns < s.min_rtt_ns then s.min_rtt_ns <- ns;
         (* HyStart-style delay increase detection: leave slow start when

@@ -27,6 +27,12 @@ val timeline : t -> bucket_sec:float -> (float * Stats.Summary.t) list
     adapt to a mid-run link failure.  Returns (bucket start, summary) in
     time order. *)
 
+val canonical_dump : t -> string
+(** A canonical textual dump of every record (size, arrival, FCT as hex
+    floats), sorted so the result is invariant to completion order.  Two
+    runs are behaviorally identical iff their dumps are byte-identical —
+    the digest input for the schedule-perturbation sanitizer. *)
+
 val mice_cutoff : int
 (** 100 KB — the paper's "<100KB" mice bucket. *)
 

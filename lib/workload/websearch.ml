@@ -28,9 +28,11 @@ let run ~sched ~rng ~conns cfg =
         Fct_stats.record stats ~size ~start ~finish:(Scheduler.now sched);
         decr remaining)
   in
-  Array.iter
-    (fun submit ->
-      let conn_rng = Rng.split rng in
+  Array.iteri
+    (fun i submit ->
+      (* a named stream per connection: registration order and connection
+         count never shift another connection's arrival process *)
+      let conn_rng = Rng.split_named rng ("conn:" ^ string_of_int i) in
       let rec arrive issued =
         if issued < cfg.jobs_per_conn then begin
           let gap = Sim_time.sec (Rng.exponential conn_rng ~mean:mean_gap_sec) in

@@ -1,0 +1,34 @@
+(* A deliberately order-dependent "load balancer" used as an analyzer
+   fixture: each definition below violates one clove-sema determinism or
+   unit-safety rule.  The [fixtures] directory has no dune stanza, so
+   this file is never compiled, and the clove-sema driver skips it
+   unless pointed at it explicitly:
+
+     clove-sema test/fixtures    # must exit 1, naming every rule *)
+
+let weights : (int, float) Hashtbl.t = Hashtbl.create 16
+let log = Buffer.create 256
+
+(* sema-hashtbl-order: effectful closure visits in bucket order *)
+let dump_weights () =
+  Hashtbl.iter
+    (fun port w -> Buffer.add_string log (Printf.sprintf "%d:%f\n" port w))
+    weights
+
+(* sema-raw-random: bypasses the seeded Engine.Rng streams *)
+let pick_port ports = List.nth ports (Random.int (List.length ports))
+
+(* sema-wall-clock: wall time leaks into the simulation *)
+let stamp () = Unix.gettimeofday ()
+
+(* sema-adhoc-seed: constant seed decoupled from the experiment seed *)
+let local_rng = Rng.create 42
+
+(* sema-wildcard-variant: silent fall-through over protocol payloads *)
+let is_probe pkt = match pkt.Packet.payload with Packet.Probe _ -> true | _ -> false
+
+(* sema-time-boundary: raw nanoseconds outside the whitelist *)
+let gap_ns = Sim_time.span_ns (Sim_time.us 500)
+
+(* sema-unit-mix: bytes added to nanoseconds *)
+let nonsense flow_bytes = flow_bytes + gap_ns

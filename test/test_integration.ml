@@ -55,13 +55,24 @@ let test_byte_conservation () =
 
 (* --------------------- paper claims at small scale ---------------- *)
 
+(* directional claims are checked on the mean over a few seeds, as in the
+   paper's methodology: a single realization at this scale can land in a
+   regime where the degraded link is barely exercised *)
+let claim_seeds = [ 1; 2; 3 ]
+
+let seed_mean f =
+  List.fold_left (fun acc seed -> acc +. f seed) 0.0 claim_seeds
+  /. float_of_int (List.length claim_seeds)
+
 let test_clove_beats_ecmp_under_asymmetry () =
   (* the headline: congestion-aware edge LB clearly beats ECMP when a
      fabric link is down and load is high *)
-  let ecmp = Workload.Fct_stats.avg (small_run ~asymmetric:true ~load:0.7 ~jobs:120 Scenario.S_ecmp) in
-  let clove =
-    Workload.Fct_stats.avg (small_run ~asymmetric:true ~load:0.7 ~jobs:120 Scenario.S_clove_ecn)
+  let avg scheme =
+    seed_mean (fun seed ->
+        Workload.Fct_stats.avg (small_run ~asymmetric:true ~seed ~load:0.7 ~jobs:120 scheme))
   in
+  let ecmp = avg Scenario.S_ecmp in
+  let clove = avg Scenario.S_clove_ecn in
   check_bool
     (Printf.sprintf "clove (%.4fs) < ecmp (%.4fs)" clove ecmp)
     true (clove < ecmp)
@@ -122,17 +133,18 @@ let test_flowlet_gap_sensitivity_direction () =
      (per-packet spraying) is worse than the recommended 1 RTT gap *)
   let avg gap_mult =
     let rtt = Scenario.default_params.Scenario.rtt_estimate in
-    let params =
-      {
-        Scenario.default_params with
-        Scenario.asymmetric = true;
-        flowlet_gap = Some (Sim_time.mul_span rtt gap_mult);
-        seed = 1;
-      }
-    in
-    Workload.Fct_stats.avg
-      (Sweep.websearch_run ~scheme:Scenario.S_clove_ecn ~params ~load:0.8
-         ~jobs_per_conn:120)
+    seed_mean (fun seed ->
+        let params =
+          {
+            Scenario.default_params with
+            Scenario.asymmetric = true;
+            flowlet_gap = Some (Sim_time.mul_span rtt gap_mult);
+            seed;
+          }
+        in
+        Workload.Fct_stats.avg
+          (Sweep.websearch_run ~scheme:Scenario.S_clove_ecn ~params ~load:0.8
+             ~jobs_per_conn:120))
   in
   let tiny = avg 0.2 in
   let good = avg 1.0 in
