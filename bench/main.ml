@@ -112,7 +112,7 @@ let microbenches () =
     Test.make ~name:"path-table congestion update"
       (Staged.stage (fun () -> Clove.Path_table.note_congested tbl ~port:50002))
   in
-  let eq = Event_queue.create () in
+  let eq = Event_queue.create ~dummy:() () in
   let bench_eq =
     Test.make ~name:"event-queue add+pop"
       (Staged.stage (fun () ->
@@ -128,6 +128,16 @@ let microbenches () =
            Dre.observe dre ~bytes_len:1500;
            (* benchmark thunk: the read itself is what is timed — lint: allow bare-ignore *)
            ignore (Dre.utilization dre)))
+  in
+  let bench_pool =
+    Test.make ~name:"packet-pool acquire+release"
+      (Staged.stage (fun () ->
+           let pkt =
+             Packet_pool.acquire_tenant ~src:(Addr.of_int 1) ~dst:(Addr.of_int 2)
+               ~conn_id:1 ~subflow:0 ~src_port:10 ~dst_port:20 ~seq:0 ~ack:0
+               ~kind:Packet.Data ~payload:1400 ~ece:false
+           in
+           Packet_pool.release pkt))
   in
   (* a full switch traversal: receive -> route -> pick -> enqueue *)
   let sw_sched = Scheduler.create () in
@@ -179,6 +189,7 @@ let microbenches () =
       bench_weights;
       bench_eq;
       bench_dre;
+      bench_pool;
       bench_switch;
     ]
   in
@@ -238,11 +249,13 @@ let scenario_benchmarks () =
         }
       in
       let sched = Scenario.sched scn in
+      let minor0 = Gc.minor_words () in
       (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
       let t0 = Unix.gettimeofday () in
       let fct = Workload.Websearch.run ~sched ~rng:(Scenario.rng scn) ~conns cfg in
       (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
       let wall = Unix.gettimeofday () -. t0 in
+      let minor_words = Gc.minor_words () -. minor0 in
       let events = Scheduler.events_fired sched in
       let sim_sec = Sim_time.to_sec (Scheduler.now sched) in
       Scenario.quiesce scn;
@@ -255,10 +268,15 @@ let scenario_benchmarks () =
             ("load", Float load);
             ("jobs_per_conn", Int jobs);
             ("seed", Int params.Scenario.seed);
+            (* a single scenario is inherently serial; parallelism applies
+               to sweeps of independent points (see sweep-parallel) *)
+            ("domains", Int 1);
             ("wall_time_sec", Float wall);
             ("sim_time_sec", Float sim_sec);
             ("events_fired", Int events);
             ("events_per_sec", Float eps);
+            ("minor_words", Float minor_words);
+            ("speedup_vs_serial", Float 1.0);
             ("flows", Int (Workload.Fct_stats.count fct));
             ("fct_avg_sec", Float (Workload.Fct_stats.avg fct));
             ("fct_p50_sec", Float (Workload.Fct_stats.percentile fct 50.0));
@@ -278,18 +296,123 @@ let scenario_benchmarks () =
     ];
   Format.printf "@."
 
+(* ------------- part 4: parallel sweep engine benchmark ------------- *)
+
+(* The same grid of independent experiment points run serially and across
+   the domain pool.  Records the speedup and cross-checks that both runs
+   merge to identical statistics — the determinism guarantee the sweep
+   engine is built on. *)
+let parallel_sweep_benchmark () =
+  let jobs =
+    match Sys.getenv_opt "CLOVE_BENCH_QUICK" with Some _ -> 6 | None -> 20
+  in
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun scheme ->
+           List.concat_map
+             (fun load ->
+               List.map
+                 (fun seed ->
+                   {
+                     Sweep.pt_scheme = scheme;
+                     pt_params =
+                       {
+                         Scenario.default_params with
+                         Scenario.asymmetric = true;
+                         seed;
+                       };
+                     pt_load = load;
+                     pt_jobs_per_conn = jobs;
+                   })
+                 [ 1; 2 ])
+             [ 0.4; 0.6 ])
+         [ Scenario.S_ecmp; Scenario.S_clove_ecn ])
+  in
+  let time f =
+    (* wall-clock speedup measurement of the harness — lint: allow sema-wall-clock *)
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (* wall-clock speedup measurement of the harness — lint: allow sema-wall-clock *)
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_wall =
+    time (fun () -> Sweep.run_points_parallel ~domains:1 points)
+  in
+  let domains = Domain_pool.default_domains () in
+  let minor0 = Gc.minor_words () in
+  let par, par_wall = time (fun () -> Sweep.run_points_parallel ~domains points) in
+  let minor_words = Gc.minor_words () -. minor0 in
+  let identical =
+    let ok = ref true in
+    Array.iteri
+      (fun i s ->
+        if
+          Workload.Fct_stats.canonical_dump s
+          <> Workload.Fct_stats.canonical_dump par.(i)
+        then ok := false)
+      serial;
+    !ok
+  in
+  let speedup = if par_wall > 0.0 then serial_wall /. par_wall else nan in
+  let record =
+    Analysis.Json_out.Obj
+      [
+        ("scenario", String "sweep-parallel");
+        ("points", Int (Array.length points));
+        ("jobs_per_conn", Int jobs);
+        ("domains", Int domains);
+        ("wall_time_sec", Float par_wall);
+        ("serial_wall_time_sec", Float serial_wall);
+        ("speedup_vs_serial", Float speedup);
+        ("minor_words", Float minor_words);
+        ("deterministic", Bool identical);
+      ]
+  in
+  let path = Filename.concat "results" "BENCH_sweep-parallel.json" in
+  Analysis.Json_out.to_file path record;
+  Format.printf
+    "== parallel sweep (%d points, %d domain%s) ==@.  serial %.2fs  parallel \
+     %.2fs  speedup %.2fx  deterministic %b  -> %s@.@."
+    (Array.length points) domains
+    (if domains = 1 then "" else "s")
+    serial_wall par_wall speedup identical path;
+  if not identical then begin
+    Format.eprintf "parallel sweep diverged from serial results@.";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let flags = [ "--micro-only"; "--scenarios-only" ] in
+  (* consume `--domains N` (overrides CLOVE_DOMAINS) before anything else *)
+  let rec strip_domains = function
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d ->
+        Domain_pool.set_default_domains d;
+        strip_domains rest
+      | None -> failwith "bench: --domains expects an integer")
+    | [ "--domains" ] -> failwith "bench: --domains expects an integer"
+    | a :: rest -> a :: strip_domains rest
+    | [] -> []
+  in
+  let args = strip_domains args in
+  let flags = [ "--micro-only"; "--scenarios-only"; "--figures-only" ] in
   let figure_ids = List.filter (fun a -> not (List.mem a flags)) args in
   Format.printf "Clove reproduction benchmark harness@.";
   Format.printf
-    "(CLOVE_BENCH_QUICK=1 for smoke, CLOVE_BENCH_FULL=1 for high fidelity)@.@.";
-  if List.mem "--scenarios-only" args then scenario_benchmarks ()
+    "(CLOVE_BENCH_QUICK=1 for smoke, CLOVE_BENCH_FULL=1 for high fidelity; \
+     CLOVE_DOMAINS / --domains N set the sweep pool width)@.@.";
+  if List.mem "--scenarios-only" args then begin
+    scenario_benchmarks ();
+    parallel_sweep_benchmark ()
+  end
+  else if List.mem "--figures-only" args then run_figures figure_ids
   else begin
     microbenches ();
     if not (List.mem "--micro-only" args) then begin
       scenario_benchmarks ();
+      parallel_sweep_benchmark ();
       run_figures figure_ids
     end
   end

@@ -46,6 +46,17 @@ let hosts_arg =
   let doc = "Hosts per leaf (paper: 16; scaled default: 8)." in
   Arg.(value & opt int 8 & info [ "hosts" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Number of domains for parallel sweeps (default: CLOVE_DOMAINS, else \
+     cores - 1).  Figure output is bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+
+let apply_domains = function
+  | Some n -> Domain_pool.set_default_domains n
+  | None -> ()
+
 let quick_arg =
   let doc = "Quick mode: fewer jobs and a single seed per point." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
@@ -90,7 +101,8 @@ let opts_of ~quick ~full =
   else Sweep.default_opts
 
 let exp_cmd =
-  let run ids quick full =
+  let run ids quick full domains =
+    apply_domains domains;
     let opts = opts_of ~quick ~full in
     let known =
       Figures.all ()
@@ -134,7 +146,7 @@ let exp_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids.")
   in
-  let term = Term.(const run $ ids $ quick_arg $ full_arg) in
+  let term = Term.(const run $ ids $ quick_arg $ full_arg $ domains_arg) in
   Cmd.v
     (Cmd.info "exp"
        ~doc:"Regenerate one or more paper figures (all of them by default).")

@@ -367,7 +367,10 @@ let tx t pkt =
 let rx_tenant t pkt (inner : Packet.inner) =
   t.s_rx <- t.s_rx + 1;
   match pkt.Packet.encap with
-  | None -> Transport.Stack.deliver t.stack inner
+  | None ->
+    Transport.Stack.deliver t.stack inner;
+    (* the stack consumed the segment synchronously; recycle the bundle *)
+    Packet_pool.release pkt
   | Some e ->
     if !Analysis.Audit.on && pkt.Packet.audit_seq >= 0 then
       Analysis.Audit.fifo_rx ~stream:(Packet.tcp_flow_key inner)
@@ -401,8 +404,12 @@ let rx_tenant t pkt (inner : Packet.inner) =
     if t.cfg.Clove_config.expose_ecn_to_guest && pkt.Packet.ecn = Packet.Ce then
       inner.Packet.inner_ecn <- Packet.Ce;
     (match e.Packet.cell with
-    | Some cell -> Presto_rx.on_packet t.presto_rx inner ~cell
-    | None -> Transport.Stack.deliver t.stack inner)
+    | Some cell ->
+      (* Presto_rx may retain [inner] in its reorder buffer: not poolable *)
+      Presto_rx.on_packet t.presto_rx inner ~cell
+    | None ->
+      Transport.Stack.deliver t.stack inner;
+      Packet_pool.release pkt)
 
 let rx t pkt =
   match pkt.Packet.payload with

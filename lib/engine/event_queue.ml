@@ -1,89 +1,129 @@
-type 'a entry = { time : Sim_time.t; seq : int; value : 'a }
+(* Unboxed structure-of-arrays binary min-heap.
 
-(* Slots hold [Some entry] below [size] and [None] above it.  Option
-   slots replace the seed's [Obj.magic 0] sentinels: a [None] slot is
-   GC-safe for every ['a] (a magic 0 would crash the GC if ['a] were
-   instantiated at [float], which OCaml unboxes in arrays). *)
+   The previous representation boxed every scheduled event as
+   [Some { time; seq; value }] — two heap blocks per event on the
+   simulator's hottest path.  Storing times and sequence numbers in
+   [int array]s and payloads in a plain ['a array] padded with a
+   caller-supplied [dummy] keeps the hot path allocation-free: [add]
+   and [pop] allocate nothing (the only allocation left is [pop]'s
+   [Some (time, value)] result).  The [dummy] fills slots above [size]
+   so vacated payloads are released to the GC without an [option] box. *)
+
 type 'a t = {
-  mutable heap : 'a entry option array;
+  mutable times : int array; (* event time in ns *)
+  mutable seqs : int array; (* insertion sequence, same-time tie-break *)
+  mutable values : 'a array;
+  dummy : 'a;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create ?(capacity = 256) () =
-  { heap = Array.make (max capacity 1) None; size = 0; next_seq = 0 }
-
-let get t i =
-  match t.heap.(i) with
-  | Some e -> e
-  | None -> assert false (* slots below [size] are always populated *)
+let create ?(capacity = 256) ~dummy () =
+  let capacity = max capacity 1 in
+  {
+    times = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    values = Array.make capacity dummy;
+    dummy;
+    size = 0;
+    next_seq = 0;
+  }
 
 (* Same-timestamp events fire in schedule order (FIFO on [seq]).  The
    perturbation sanitizer reverses the tie-break between complete runs to
    check nothing depends on it; the knob must never change while a queue
-   is non-empty (the heap invariant assumes a fixed comparator). *)
-let lt a b =
-  let c = Sim_time.compare a.time b.time in
-  if c <> 0 then c < 0
-  else
-    match !Analysis.Perturb.tiebreak with
-    | Analysis.Perturb.Fifo -> a.seq < b.seq
-    | Analysis.Perturb.Lifo -> a.seq > b.seq
+   is non-empty (the heap invariant assumes a fixed comparator).  Each
+   operation reads the knob once into [fifo] so a single sift sees a
+   consistent comparator. *)
+let[@inline] lt ~fifo t1 s1 t2 s2 =
+  if t1 <> t2 then t1 < t2 else if fifo then s1 < s2 else s1 > s2
+
+let fifo_now () =
+  match !Analysis.Perturb.tiebreak with
+  | Analysis.Perturb.Fifo -> true
+  | Analysis.Perturb.Lifo -> false
 
 let grow t =
-  let heap = Array.make (2 * Array.length t.heap) None in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt (get t i) (get t parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0
+  and seqs = Array.make cap 0
+  and values = Array.make cap t.dummy in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.values <- values
 
 let add t ~time value =
-  if t.size = Array.length t.heap then grow t;
-  let entry = { time; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  t.heap.(t.size) <- Some entry;
+  if t.size = Array.length t.times then grow t;
+  let time = Sim_time.to_ns time in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let fifo = fifo_now () in
+  let times = t.times and seqs = t.seqs and values = t.values in
+  (* hole-based sift-up: move lighter parents down, drop the new entry in *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt ~fifo time seq times.(parent) seqs.(parent) then begin
+      times.(!i) <- times.(parent);
+      seqs.(!i) <- seqs.(parent);
+      values.(!i) <- values.(parent);
+      i := parent
+    end
+    else sifting := false
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  values.(!i) <- value
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
+    let top_time = t.times.(0) and top_value = t.values.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      let times = t.times and seqs = t.seqs and values = t.values in
+      (* re-insert the last entry at the root and sift its hole down *)
+      let mtime = times.(n) and mseq = seqs.(n) and mvalue = values.(n) in
+      let fifo = fifo_now () in
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 in
+        if l >= n then sifting := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n && lt ~fifo times.(r) seqs.(r) times.(l) seqs.(l) then r
+            else l
+          in
+          if lt ~fifo times.(c) seqs.(c) mtime mseq then begin
+            times.(!i) <- times.(c);
+            seqs.(!i) <- seqs.(c);
+            values.(!i) <- values.(c);
+            i := c
+          end
+          else sifting := false
+        end
+      done;
+      times.(!i) <- mtime;
+      seqs.(!i) <- mseq;
+      values.(!i) <- mvalue
     end;
-    (* release the vacated slot for GC *)
-    t.heap.(t.size) <- None;
-    Some (top.time, top.value)
+    (* release the vacated payload slot for GC *)
+    t.values.(t.size) <- t.dummy;
+    Some (Sim_time.of_ns top_time, top_value)
   end
 
-let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let peek_time t = if t.size = 0 then None else Some (Sim_time.of_ns t.times.(0))
 let size t = t.size
 let is_empty t = t.size = 0
 
 let clear t =
-  Array.fill t.heap 0 t.size None;
+  Array.fill t.values 0 t.size t.dummy;
   t.size <- 0

@@ -1,12 +1,21 @@
 (** Priority queue of timestamped events.
 
-    A classic array-based binary min-heap ordered by (time, insertion
-    sequence), so events scheduled for the same instant fire in insertion
-    order — a property the deterministic simulator relies on. *)
+    An array-based binary min-heap ordered by (time, insertion sequence),
+    so events scheduled for the same instant fire in insertion order — a
+    property the deterministic simulator relies on.
+
+    The heap is a structure of unboxed arrays: times and sequence numbers
+    live in [int array]s and payloads in a plain ['a array], so [add] and
+    [pop] allocate nothing on the hot path.  The caller supplies a [dummy]
+    payload used to fill empty slots (a vacated slot is overwritten with
+    [dummy] so the popped payload is released to the GC); the dummy itself
+    is never returned. *)
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty queue.  [dummy] pads unused array
+    slots; any value of type ['a] works (it is never popped). *)
 
 val add : 'a t -> time:Sim_time.t -> 'a -> unit
 
@@ -17,4 +26,6 @@ val peek_time : 'a t -> Sim_time.t option
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
 val clear : 'a t -> unit
+(** Drop all pending events (payload slots are reset to [dummy]). *)

@@ -8,12 +8,21 @@ type t = {
 }
 
 (* distinguishes schedulers in the invariant auditor's per-clock
-   monotonicity watermarks; scenarios may build several schedulers *)
-let next_id = ref 0
+   monotonicity watermarks; scenarios may build several schedulers.
+   Atomic because parallel sweeps build scenarios on several domains. *)
+let next_id = Atomic.make 0
+
+(* pads empty event-queue slots; [live = false] so it is inert even if a
+   bug ever dispatched it *)
+let dummy_handle = { live = false; thunk = (fun () -> ()) }
 
 let create () =
-  incr next_id;
-  { id = !next_id; clock = Sim_time.zero; fired = 0; queue = Event_queue.create () }
+  {
+    id = 1 + Atomic.fetch_and_add next_id 1;
+    clock = Sim_time.zero;
+    fired = 0;
+    queue = Event_queue.create ~dummy:dummy_handle ();
+  }
 
 let now t = t.clock
 

@@ -29,6 +29,12 @@ let load_sweep ~id ~title ~paper_claim ~schemes ~loads ~metric ~metric_name ~opt
     (Printf.sprintf "load%%/%s" metric_name) :: List.map Scenario.scheme_name schemes
   in
   let table = Stats.Table.create ~header in
+  (* fan the whole schemes x loads grid across domains up front; the
+     sweep below then reads the memoized points in serial order *)
+  Sweep.prefetch_points
+    (List.concat_map
+       (fun load -> List.map (fun scheme -> (scheme, params, load, opts)) schemes)
+       loads);
   List.iter
     (fun load ->
       let values =
@@ -124,18 +130,27 @@ let fig6 ?opts ?params () =
   in
   let header = "load%/avgFCT(s)" :: List.map (fun (n, _, _) -> n) variants in
   let table = Stats.Table.create ~header in
+  let variant_params (gap_mult, thresh) =
+    {
+      params with
+      Scenario.flowlet_gap = Some (Sim_time.mul_span rtt gap_mult);
+      ecn_threshold_pkts = thresh;
+    }
+  in
+  Sweep.prefetch_points
+    (List.concat_map
+       (fun load ->
+         List.map
+           (fun (_, gap_mult, thresh) ->
+             (Scenario.S_clove_ecn, variant_params (gap_mult, thresh), load, opts))
+           variants)
+       default_loads);
   List.iter
     (fun load ->
       let values =
         List.map
           (fun (_, gap_mult, thresh) ->
-            let params =
-              {
-                params with
-                Scenario.flowlet_gap = Some (Sim_time.mul_span rtt gap_mult);
-                ecn_threshold_pkts = thresh;
-              }
-            in
+            let params = variant_params (gap_mult, thresh) in
             Workload.Fct_stats.avg
               (Sweep.websearch_point ~scheme:Scenario.S_clove_ecn ~params ~load ~opts))
           variants
@@ -221,6 +236,8 @@ let fig9 ?opts ?params () =
   let params = { params with Scenario.asymmetric = true } in
   let schemes = [ Scenario.S_ecmp; Scenario.S_clove_ecn; Scenario.S_conga ] in
   let cutoff = scaled_cutoff params Workload.Fct_stats.mice_cutoff in
+  Sweep.prefetch_points
+    (List.map (fun scheme -> (scheme, params, 0.7, opts)) schemes);
   let fcts =
     List.map
       (fun scheme -> Sweep.websearch_point ~scheme ~params ~load:0.7 ~opts)
@@ -249,6 +266,13 @@ let fig9 ?opts ?params () =
 let clove_ecn_sweep ~id ~title ~paper_claim ~variants ~apply ~opts ~params =
   let header = "load%/avgFCT(s)" :: List.map fst variants in
   let table = Stats.Table.create ~header in
+  Sweep.prefetch_points
+    (List.concat_map
+       (fun load ->
+         List.map
+           (fun (_, v) -> (Scenario.S_clove_ecn, apply params v, load, opts))
+           variants)
+       [ 0.5; 0.7 ]);
   List.iter
     (fun load ->
       let values =

@@ -45,33 +45,98 @@ let websearch_run ~scheme ~params ~load ~jobs_per_conn =
 
 (* Several figures slice the same sweep differently (fig4c and fig5a/b/c
    are one set of runs in the paper too), so points are memoized on their
-   full configuration. *)
-let memo : (int, Workload.Fct_stats.t) Hashtbl.t = Hashtbl.create 64
+   full configuration.  The key is the configuration tuple itself —
+   [Scenario.params] is pure data, so structural equality in the table
+   disambiguates hash-bucket collisions; an earlier version keyed on the
+   output of [Hashtbl.hash_param], which silently aliased any two
+   configurations that happened to share a hash. *)
+type memo_key = Scenario.scheme * Scenario.params * float * int * int list
+
+let memo : (memo_key, Workload.Fct_stats.t) Hashtbl.t = Hashtbl.create 64
 
 let clear_memo () = Hashtbl.reset memo
 
-let websearch_point ~scheme ~params ~load ~opts =
-  (* hash_param with a high node limit: the default Hashtbl.hash looks at
-     only ~10 nodes, which would collide distinct configurations *)
-  let key =
-    Hashtbl.hash_param 512 512 (scheme, params, load, opts.jobs_per_conn, opts.seeds)
+(* ---------------------- parallel experiment engine ----------------- *)
+
+type point = {
+  pt_scheme : Scenario.scheme;
+  pt_params : Scenario.params;  (* the seed to run is [pt_params.seed] *)
+  pt_load : float;
+  pt_jobs_per_conn : int;
+}
+
+let run_point p =
+  websearch_run ~scheme:p.pt_scheme ~params:p.pt_params ~load:p.pt_load
+    ~jobs_per_conn:p.pt_jobs_per_conn
+
+let run_points_parallel ?domains points =
+  (* every point owns a private scenario, scheduler and RNG, so points
+     are embarrassingly parallel; results come back indexed by point, so
+     the caller's aggregation order — and therefore every figure — is
+     identical for 1 and N domains.  The invariant auditor's tables are
+     global and unsynchronized: audited runs stay serial. *)
+  if !Analysis.Audit.on then Array.map run_point points
+  else Domain_pool.run ?domains run_point points
+
+let memo_key_of (scheme, params, load, opts) =
+  (scheme, params, load, opts.jobs_per_conn, opts.seeds)
+
+let prefetch_points ?domains specs =
+  (* expand each not-yet-memoized spec into one task per seed, fan the
+     tasks across domains, then merge per spec in seed order — exactly
+     the serial fold — and fill the memo from this (single) domain *)
+  let seen = Hashtbl.create 16 in
+  let pending =
+    List.filter
+      (fun spec ->
+        let key = memo_key_of spec in
+        if Hashtbl.mem memo key || Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      specs
   in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (scheme, params, load, opts) ->
+           List.map
+             (fun seed ->
+               {
+                 pt_scheme = scheme;
+                 pt_params = { params with Scenario.seed };
+                 pt_load = load;
+                 pt_jobs_per_conn = opts.jobs_per_conn;
+               })
+             opts.seeds)
+         pending)
+  in
+  let results = run_points_parallel ?domains tasks in
+  let idx = ref 0 in
+  List.iter
+    (fun ((_, _, _, opts) as spec) ->
+      let fct =
+        List.fold_left
+          (fun acc _seed ->
+            let r = results.(!idx) in
+            incr idx;
+            Workload.Fct_stats.merge acc r)
+          (Workload.Fct_stats.create ())
+          opts.seeds
+      in
+      Hashtbl.replace memo (memo_key_of spec) fct)
+    pending
+
+let websearch_point ~scheme ~params ~load ~opts =
+  let key = memo_key_of (scheme, params, load, opts) in
   match Hashtbl.find_opt memo key with
   | Some fct -> fct
-  | None ->
-    let fct =
-      List.fold_left
-        (fun acc seed ->
-          let params = { params with Scenario.seed } in
-          let fct =
-            websearch_run ~scheme ~params ~load ~jobs_per_conn:opts.jobs_per_conn
-          in
-          Workload.Fct_stats.merge acc fct)
-        (Workload.Fct_stats.create ())
-        opts.seeds
-    in
-    Hashtbl.replace memo key fct;
-    fct
+  | None -> (
+    prefetch_points [ (scheme, params, load, opts) ];
+    match Hashtbl.find_opt memo key with
+    | Some fct -> fct
+    | None -> assert false)
 
 let incast_run ~scheme ~params ~fanout ~total_bytes ~requests =
   let scn = Scenario.build ~scheme params in
@@ -90,11 +155,14 @@ let incast_run ~scheme ~params ~fanout ~total_bytes ~requests =
   result.Workload.Incast.goodput_bps
 
 let incast_point ~scheme ~params ~fanout ~total_bytes ~requests ~seeds =
-  let total =
-    List.fold_left
-      (fun acc seed ->
-        let params = { params with Scenario.seed } in
-        acc +. incast_run ~scheme ~params ~fanout ~total_bytes ~requests)
-      0.0 seeds
+  let run seed =
+    let params = { params with Scenario.seed } in
+    incast_run ~scheme ~params ~fanout ~total_bytes ~requests
   in
-  total /. float_of_int (List.length seeds)
+  let goodputs =
+    (* per-seed incast runs are independent too; the left-to-right sum
+       below keeps float association in seed order on any domain count *)
+    if !Analysis.Audit.on then Array.map run (Array.of_list seeds)
+    else Domain_pool.run run (Array.of_list seeds)
+  in
+  Array.fold_left ( +. ) 0.0 goodputs /. float_of_int (List.length seeds)

@@ -22,6 +22,34 @@ val websearch_run :
 (** One full scenario execution at one load point (single seed taken from
     [params.seed]). *)
 
+(** One single-seed experiment point (the seed is [pt_params.seed]);
+    the unit of work fanned across domains by {!run_points_parallel}. *)
+type point = {
+  pt_scheme : Scenario.scheme;
+  pt_params : Scenario.params;
+  pt_load : float;
+  pt_jobs_per_conn : int;
+}
+
+val run_points_parallel :
+  ?domains:int -> point array -> Workload.Fct_stats.t array
+(** Run every point (each with a private scenario, scheduler and RNG)
+    across a domain pool and return the results {e by point index}, so
+    aggregation order — and every figure derived from it — is identical
+    for 1 and N domains.  [domains] defaults to
+    [Domain_pool.default_domains ()].  Falls back to a serial map while
+    the invariant auditor is on (its tables are global). *)
+
+val prefetch_points :
+  ?domains:int ->
+  (Scenario.scheme * Scenario.params * float * run_opts) list ->
+  unit
+(** Compute any not-yet-memoized specs in parallel — one task per
+    (spec, seed) — and fill the memo table with the per-spec seed-order
+    merges.  The memo is only ever touched from the calling domain;
+    workers run memo-free single-seed scenarios.  Subsequent
+    {!websearch_point} calls for these specs are lookups. *)
+
 val websearch_point :
   scheme:Scenario.scheme ->
   params:Scenario.params ->
@@ -29,8 +57,8 @@ val websearch_point :
   opts:run_opts ->
   Workload.Fct_stats.t
 (** Merged FCTs over all seeds in [opts].  Points are memoized on their
-    full configuration: figures that slice the same sweep differently
-    (fig4c and fig5a/b/c) reuse the same runs. *)
+    full configuration tuple: figures that slice the same sweep
+    differently (fig4c and fig5a/b/c) reuse the same runs. *)
 
 val clear_memo : unit -> unit
 

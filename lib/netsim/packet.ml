@@ -8,18 +8,23 @@ let pp_ecn fmt = function
 type tcp_kind = Data | Ack
 
 type tcp_seg = {
-  conn_id : int;
-  subflow : int;
-  src_port : int;
-  dst_port : int;
-  seq : int;
-  ack : int;
-  kind : tcp_kind;
-  payload : int;
+  mutable conn_id : int;
+  mutable subflow : int;
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable seq : int;
+  mutable ack : int;
+  mutable kind : tcp_kind;
+  mutable payload : int;
   mutable ece : bool;
 }
 
-type inner = { src : Addr.t; dst : Addr.t; mutable inner_ecn : ecn; seg : tcp_seg }
+type inner = {
+  mutable src : Addr.t;
+  mutable dst : Addr.t;
+  mutable inner_ecn : ecn;
+  seg : tcp_seg;
+}
 
 type clove_feedback =
   | Fb_ecn of { port : int; congested : bool }
@@ -69,7 +74,7 @@ type payload =
   | Probe_reply of probe_reply
 
 type t = {
-  uid : int;
+  mutable uid : int;
   mutable size : int;
   mutable ttl : int;
   mutable ecn : ecn;
@@ -85,12 +90,16 @@ type t = {
 let stt_port = 7471
 let inner_header_bytes = 40
 let encap_header_bytes = 58
-let uid_counter = ref 0
+(* atomic because parallel sweeps allocate packets on several domains;
+   uids are only ever read for pretty-printing and audit labels, so the
+   cross-domain interleaving of values is behavior-irrelevant *)
+let uid_counter = Atomic.make 0
+
+let fresh_uid () = 1 + Atomic.fetch_and_add uid_counter 1
 
 let make ?(ttl = 64) ~size payload =
-  incr uid_counter;
   {
-    uid = !uid_counter;
+    uid = fresh_uid ();
     size;
     ttl;
     ecn = Not_ect;
@@ -137,4 +146,4 @@ let pp fmt t =
   Format.fprintf fmt "#%d %s %dB ttl=%d ecn=%a dst=%a" t.uid kind t.size t.ttl pp_ecn
     t.ecn Addr.pp (route_dst t)
 
-let reset_uid_counter_for_tests () = uid_counter := 0
+let reset_uid_counter_for_tests () = Atomic.set uid_counter 0

@@ -22,22 +22,25 @@ val pp_ecn : Format.formatter -> ecn -> unit
     of band, so there is no handshake. *)
 type tcp_kind = Data | Ack
 
+(** All fields are mutable so [Packet_pool] can recycle segment records
+    in place; outside the pool they are set once at construction. *)
 type tcp_seg = {
-  conn_id : int;  (** global connection identifier *)
-  subflow : int;  (** MPTCP subflow index; 0 for plain TCP *)
-  src_port : int;
-  dst_port : int;
-  seq : int;  (** first payload byte (Data) *)
-  ack : int;  (** cumulative ack: next expected byte (Ack) *)
-  kind : tcp_kind;
-  payload : int;  (** payload bytes carried *)
+  mutable conn_id : int;  (** global connection identifier *)
+  mutable subflow : int;  (** MPTCP subflow index; 0 for plain TCP *)
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable seq : int;  (** first payload byte (Data) *)
+  mutable ack : int;  (** cumulative ack: next expected byte (Ack) *)
+  mutable kind : tcp_kind;
+  mutable payload : int;  (** payload bytes carried *)
   mutable ece : bool;  (** ECN-echo from receiver to sender *)
 }
 
-(** The tenant packet as emitted by the guest VM network stack. *)
+(** The tenant packet as emitted by the guest VM network stack.
+    [src]/[dst] are mutable for [Packet_pool] recycling only. *)
 type inner = {
-  src : Addr.t;
-  dst : Addr.t;
+  mutable src : Addr.t;
+  mutable dst : Addr.t;
   mutable inner_ecn : ecn;  (** ECN as seen by the guest stack *)
   seg : tcp_seg;
 }
@@ -104,7 +107,7 @@ type payload =
   | Probe_reply of probe_reply
 
 type t = {
-  uid : int;
+  mutable uid : int;  (** unique per logical packet; refreshed on pool reuse *)
   mutable size : int;  (** wire size in bytes, for link occupancy *)
   mutable ttl : int;
   mutable ecn : ecn;  (** outer IP ECN codepoint (fabric-visible) *)
@@ -124,6 +127,11 @@ val stt_port : int
 
 val inner_header_bytes : int
 val encap_header_bytes : int
+
+val fresh_uid : unit -> int
+(** Next packet uid; used by [Packet_pool] when recycling a packet so a
+    reused record is still distinguishable in logs and audit output. *)
+
 val make : ?ttl:int -> size:int -> payload -> t
 (** Allocates a packet with a fresh [uid]; [size] is the wire size. *)
 

@@ -1,0 +1,121 @@
+(* Free-list pool for tenant packets.
+
+   Every data segment and ACK in a run is a fresh three-block allocation
+   (Packet.t + inner + tcp_seg) that dies one hop later when the
+   destination vswitch hands it to the transport stack.  Recycling those
+   bundles through a free list removes the dominant minor-heap churn of
+   the event loop.
+
+   The free list is domain-local ([Domain.DLS]) so parallel sweeps never
+   contend or leak packets across simulations running on different
+   domains; each domain's list is capped so a burst cannot pin memory.
+
+   Correctness invariants:
+   - [acquire_tenant] resets every mutable field, so a recycled packet is
+     indistinguishable from [Packet.make_tenant]'s output except for its
+     (fresh) uid.
+   - [release] must only be called once the packet and its inner are
+     provably dead: the vswitch releases on the two [Stack.deliver]
+     paths, but NOT on the flowcell path, where [Presto_rx] retains the
+     inner in its reorder buffer.
+   - a sentinel [audit_seq] marks pooled packets so a double [release]
+     is ignored rather than corrupting the list (the auditor only ever
+     stamps sequences >= 0, and live packets use -1). *)
+
+type pool = {
+  mutable free : Packet.t list;
+  mutable len : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable dropped : int;
+}
+
+type stats = { hits : int; misses : int; dropped : int; pooled : int }
+
+(* per-domain cap; beyond it released packets are left to the GC *)
+let max_pooled = 8192
+
+(* [audit_seq] value marking a packet as sitting in the free list *)
+let pooled_sentinel = min_int
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { free = []; len = 0; hits = 0; misses = 0; dropped = 0 })
+
+let stats () =
+  let p = Domain.DLS.get key in
+  { hits = p.hits; misses = p.misses; dropped = p.dropped; pooled = p.len }
+
+let reset_stats () =
+  let p = Domain.DLS.get key in
+  p.hits <- 0;
+  p.misses <- 0;
+  p.dropped <- 0
+
+let acquire_tenant ~src ~dst ~conn_id ~subflow ~src_port ~dst_port ~seq ~ack
+    ~kind ~payload ~ece =
+  let p = Domain.DLS.get key in
+  match p.free with
+  | pkt :: rest -> (
+    p.free <- rest;
+    p.len <- p.len - 1;
+    p.hits <- p.hits + 1;
+    match pkt.Packet.payload with
+    | Packet.Tenant inner ->
+      let s = inner.Packet.seg in
+      s.Packet.conn_id <- conn_id;
+      s.Packet.subflow <- subflow;
+      s.Packet.src_port <- src_port;
+      s.Packet.dst_port <- dst_port;
+      s.Packet.seq <- seq;
+      s.Packet.ack <- ack;
+      s.Packet.kind <- kind;
+      s.Packet.payload <- payload;
+      s.Packet.ece <- ece;
+      inner.Packet.src <- src;
+      inner.Packet.dst <- dst;
+      inner.Packet.inner_ecn <- Packet.Not_ect;
+      pkt.Packet.uid <- Packet.fresh_uid ();
+      pkt.Packet.size <- payload + Packet.inner_header_bytes;
+      pkt.Packet.ttl <- 64;
+      pkt.Packet.ecn <- Packet.Not_ect;
+      pkt.Packet.encap <- None;
+      pkt.Packet.conga <- None;
+      pkt.Packet.int_enabled <- false;
+      pkt.Packet.int_util <- 0.0;
+      pkt.Packet.sent_at <- Sim_time.zero;
+      pkt.Packet.audit_seq <- -1;
+      pkt
+    | Packet.Probe _ | Packet.Probe_reply _ ->
+      (* unreachable: only tenant packets are ever released *)
+      assert false)
+  | [] ->
+    p.misses <- p.misses + 1;
+    Packet.make_tenant ~src ~dst
+      ~seg:
+        {
+          Packet.conn_id;
+          subflow;
+          src_port;
+          dst_port;
+          seq;
+          ack;
+          kind;
+          payload;
+          ece;
+        }
+
+let release pkt =
+  match pkt.Packet.payload with
+  | Packet.Tenant _ when pkt.Packet.audit_seq <> pooled_sentinel ->
+    let p = Domain.DLS.get key in
+    if p.len < max_pooled then begin
+      pkt.Packet.audit_seq <- pooled_sentinel;
+      (* drop header state now so the pooled packet pins nothing *)
+      pkt.Packet.encap <- None;
+      pkt.Packet.conga <- None;
+      p.free <- pkt :: p.free;
+      p.len <- p.len + 1
+    end
+    else p.dropped <- p.dropped + 1
+  | Packet.Tenant _ | Packet.Probe _ | Packet.Probe_reply _ -> ()

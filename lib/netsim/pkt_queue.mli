@@ -11,8 +11,9 @@ type t
 type stats = {
   enqueued : int;
   dropped : int;
+  dropped_bytes : int;  (** bytes lost to drop-tail, for loss accounting *)
   marked : int;
-  max_occupancy : int;
+  max_occupancy : int;  (** also updated when a drop finds the queue full *)
 }
 
 val create : ?capacity_pkts:int -> ?ecn_threshold_pkts:int -> unit -> t

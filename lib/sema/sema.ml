@@ -18,6 +18,10 @@ let rules =
       "raw Sim_time ns conversion outside the conversion whitelist" );
     ( "sema-unit-mix",
       "+/- combining a time-looking operand with a byte/packet-looking one" );
+    ( "sema-domain-parallel",
+      "Domain/Mutex/Condition/Atomic/Thread primitive outside the parallel \
+       runtime whitelist: simulation code must stay single-domain \
+       deterministic, parallelism lives in Engine.Domain_pool" );
     ("sema-parse-error", "source file failed to parse");
   ]
 
@@ -42,6 +46,21 @@ let protocol_constructors =
 
 let time_boundary_whitelist =
   [ "lib/engine/"; "lib/transport/rtt_estimator.ml"; "lib/netsim/dre.ml" ]
+
+(* The only files allowed to touch multicore primitives: the pool itself,
+   the scheduler's atomic id counter, and the packet layer's atomic uid /
+   domain-local free list.  Everything else must go through
+   Engine.Domain_pool so experiment code cannot grow its own ad hoc
+   threading. *)
+let parallel_whitelist =
+  [
+    "lib/engine/domain_pool.ml";
+    "lib/engine/scheduler.ml";
+    "lib/netsim/packet.ml";
+    "lib/netsim/packet_pool.ml";
+  ]
+
+let parallel_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Thread" ]
 
 let raw_time_conversions = [ "to_ns"; "of_ns"; "span_ns"; "span_of_ns" ]
 
@@ -211,12 +230,14 @@ let rec is_catch_all (p : Parsetree.pattern) =
 
 (* ----------------------------- per-file pass ---------------------- *)
 
-let whitelisted file =
+let has_prefix_in prefixes file =
   List.exists
     (fun prefix ->
       String.length file >= String.length prefix
       && String.sub file 0 (String.length prefix) = prefix)
-    time_boundary_whitelist
+    prefixes
+
+let whitelisted file = has_prefix_in time_boundary_whitelist file
 
 let first_positional args =
   let open Parsetree in
@@ -289,6 +310,14 @@ let collect_findings ~file (str : Parsetree.structure) =
              "%s reads the wall clock; simulation time comes from \
               Engine.Sim_time"
              (String.concat "." parts))
+      | m :: _ :: _ when List.mem m parallel_modules ->
+        if not (has_prefix_in parallel_whitelist file) then
+          add ~line:(line_of ex.pexp_loc) ~rule:"sema-domain-parallel"
+            (Printf.sprintf
+               "%s: multicore primitives are confined to Engine.Domain_pool \
+                and the packet layer; fan work out with Domain_pool.map \
+                instead"
+               (String.concat "." parts))
       | _ -> (
         match last_two parts with
         | Some ("Sim_time", f) when List.mem f raw_time_conversions ->

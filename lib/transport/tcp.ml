@@ -122,20 +122,10 @@ let stop s =
   cancel_tlp s
 
 let emit_data s ~seq ~payload =
-  let seg =
-    {
-      Packet.conn_id = s.conn_id;
-      subflow = s.subflow;
-      src_port = s.src_port;
-      dst_port = s.dst_port;
-      seq;
-      ack = 0;
-      kind = Packet.Data;
-      payload;
-      ece = false;
-    }
-  in
-  s.tx (Packet.make_tenant ~src:s.src ~dst:s.dst ~seg)
+  s.tx
+    (Packet_pool.acquire_tenant ~src:s.src ~dst:s.dst ~conn_id:s.conn_id
+       ~subflow:s.subflow ~src_port:s.src_port ~dst_port:s.dst_port ~seq ~ack:0
+       ~kind:Packet.Data ~payload ~ece:false)
 
 let rec arm_rto s =
   cancel_rto s;
@@ -428,22 +418,13 @@ let absorb r =
   go ()
 
 let send_ack r ~ece =
-  let seg =
-    {
-      Packet.conn_id = r.r_conn_id;
-      subflow = r.r_subflow;
-      src_port = r.r_src_port;
-      dst_port = r.r_dst_port;
-      seq = 0;
-      ack = r.rcv_next;
-      kind = Packet.Ack;
-      payload = 0;
-      ece;
-    }
-  in
   ignore r.r_cfg;
   ignore r.r_sched;
-  r.r_tx (Packet.make_tenant ~src:r.r_addr ~dst:r.r_peer ~seg)
+  r.r_tx
+    (Packet_pool.acquire_tenant ~src:r.r_addr ~dst:r.r_peer
+       ~conn_id:r.r_conn_id ~subflow:r.r_subflow ~src_port:r.r_src_port
+       ~dst_port:r.r_dst_port ~seq:0 ~ack:r.rcv_next ~kind:Packet.Ack
+       ~payload:0 ~ece)
 
 let on_data r (inner : Packet.inner) =
   let seg = inner.Packet.seg in

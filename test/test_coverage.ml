@@ -28,7 +28,7 @@ let test_rng_split_named_differs_by_name () =
   check_bool "different streams" true (Rng.int x 1_000_000 <> Rng.int y 1_000_000)
 
 let test_event_queue_clear () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:0 () in
   for i = 1 to 5 do
     Event_queue.add q ~time:(Sim_time.of_ns i) i
   done;

@@ -84,7 +84,7 @@ let test_rng_shuffle_permutation () =
 (* ------------------------------ Event_queue ----------------------- *)
 
 let test_eq_ordering () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:"?" () in
   Event_queue.add q ~time:(Sim_time.of_ns 30) "c";
   Event_queue.add q ~time:(Sim_time.of_ns 10) "a";
   Event_queue.add q ~time:(Sim_time.of_ns 20) "b";
@@ -95,7 +95,7 @@ let test_eq_ordering () =
   check_bool "empty" true (Event_queue.is_empty q)
 
 let test_eq_fifo_same_time () =
-  let q = Event_queue.create () in
+  let q = Event_queue.create ~dummy:(-1) () in
   for i = 0 to 9 do
     Event_queue.add q ~time:(Sim_time.of_ns 5) i
   done;
@@ -106,27 +106,106 @@ let test_eq_fifo_same_time () =
   done
 
 let test_eq_grows () =
-  let q = Event_queue.create ~capacity:2 () in
+  let q = Event_queue.create ~capacity:2 ~dummy:(-1) () in
   for i = 0 to 999 do
     Event_queue.add q ~time:(Sim_time.of_ns i) i
   done;
   check_int "size" 1000 (Event_queue.size q);
   check_int "peek" 0 (match Event_queue.peek_time q with Some t -> Sim_time.to_ns t | None -> -1)
 
+let test_eq_clear_and_reuse () =
+  let q = Event_queue.create ~capacity:4 ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Event_queue.add q ~time:(Sim_time.of_ns (100 - i)) i
+  done;
+  Event_queue.clear q;
+  check_bool "empty after clear" true (Event_queue.is_empty q);
+  check_bool "pop after clear" true (Event_queue.pop q = None);
+  (* the queue (and its grown arrays) stay usable after clear *)
+  Event_queue.add q ~time:(Sim_time.of_ns 7) 7;
+  Event_queue.add q ~time:(Sim_time.of_ns 3) 3;
+  check_int "reuse pops min" 3
+    (match Event_queue.pop q with Some (_, v) -> v | None -> -1);
+  check_int "reuse pops rest" 7
+    (match Event_queue.pop q with Some (_, v) -> v | None -> -1)
+
+let test_eq_lifo_tiebreak () =
+  (* the perturbation sanitizer flips the same-timestamp tie-break for a
+     whole run; the queue must honor it from a fresh (empty) state *)
+  Analysis.Perturb.with_settings ~tb:Analysis.Perturb.Lifo ~salt:0
+    (fun () ->
+      let q = Event_queue.create ~dummy:(-1) () in
+      for i = 0 to 9 do
+        Event_queue.add q ~time:(Sim_time.of_ns 5) i
+      done;
+      for i = 9 downto 0 do
+        match Event_queue.pop q with
+        | Some (_, v) -> check_int "reverse insertion order" i v
+        | None -> Alcotest.fail "queue empty early"
+      done)
+
+(* reference model: a stable sort of (time, insertion index) pairs *)
+let drain_all q =
+  let rec go acc =
+    match Event_queue.pop q with
+    | Some (t, v) -> go ((Sim_time.to_ns t, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
 let prop_eq_sorted =
   QCheck.Test.make ~name:"event_queue pops in non-decreasing time order" ~count:200
     QCheck.(list (int_bound 1_000_000))
     (fun times ->
-      let q = Event_queue.create () in
+      let q = Event_queue.create ~dummy:(-1) () in
       List.iter (fun t -> Event_queue.add q ~time:(Sim_time.of_ns t) t) times;
-      let rec drain acc =
-        match Event_queue.pop q with
-        | Some (_, v) -> drain (v :: acc)
-        | None -> List.rev acc
-      in
-      let popped = drain [] in
+      let popped = List.map snd (drain_all q) in
       (* popping in key order of a stable heap = stable sort of the input *)
       popped = List.stable_sort compare times)
+
+let prop_eq_matches_reference =
+  (* interleaves adds and pops and checks the exact pop sequence against a
+     sorted-list reference model, under both tie-break modes *)
+  QCheck.Test.make ~name:"event_queue matches sorted-reference model" ~count:200
+    QCheck.(pair bool (small_list (pair (int_bound 50) bool)))
+    (fun (fifo, ops) ->
+      let tb = if fifo then Analysis.Perturb.Fifo else Analysis.Perturb.Lifo in
+      Analysis.Perturb.with_settings ~tb ~salt:0 (fun () ->
+          let q = Event_queue.create ~capacity:1 ~dummy:(-1) () in
+          let model = ref [] in
+          (* reference order: time asc, then seq asc (FIFO) / desc (LIFO) *)
+          let earlier (t1, s1) (t2, s2) =
+            if t1 <> t2 then t1 < t2 else if fifo then s1 < s2 else s1 > s2
+          in
+          let ok = ref true in
+          let seq = ref 0 in
+          List.iter
+            (fun (time, is_add) ->
+              if is_add || !model = [] then begin
+                Event_queue.add q ~time:(Sim_time.of_ns time) !seq;
+                model := (time, !seq) :: !model;
+                incr seq
+              end
+              else begin
+                let best =
+                  List.fold_left
+                    (fun acc e -> if earlier e acc then e else acc)
+                    (List.hd !model) (List.tl !model)
+                in
+                model := List.filter (fun e -> e <> best) !model;
+                match Event_queue.pop q with
+                | Some (t, v) ->
+                  if (Sim_time.to_ns t, v) <> best then ok := false
+                | None -> ok := false
+              end)
+            ops;
+          (* drain the remainder and compare tails *)
+          let rest = drain_all q in
+          let expected = List.sort (fun a b ->
+              if earlier a b then -1 else if earlier b a then 1 else 0)
+              !model
+          in
+          !ok && rest = expected))
 
 (* ------------------------------- Scheduler ------------------------ *)
 
@@ -228,7 +307,10 @@ let () =
           Alcotest.test_case "ordering" `Quick test_eq_ordering;
           Alcotest.test_case "fifo at same time" `Quick test_eq_fifo_same_time;
           Alcotest.test_case "growth" `Quick test_eq_grows;
+          Alcotest.test_case "clear and reuse" `Quick test_eq_clear_and_reuse;
+          Alcotest.test_case "lifo tie-break under perturb" `Quick test_eq_lifo_tiebreak;
           qc prop_eq_sorted;
+          qc prop_eq_matches_reference;
         ] );
       ( "scheduler",
         [

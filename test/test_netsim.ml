@@ -153,6 +153,72 @@ let test_queue_no_mark_not_ect () =
   List.iter (fun p -> ignore (Pkt_queue.enqueue q p)) pkts;
   check_int "non-ECT never marked" 0 (Pkt_queue.stats q).Pkt_queue.marked
 
+let test_queue_drop_accounting () =
+  let q = Pkt_queue.create ~capacity_pkts:2 ~ecn_threshold_pkts:0 () in
+  let a = mk_data () and b = mk_data () and c = mk_data ~payload:500 () in
+  ignore (Pkt_queue.enqueue q a);
+  ignore (Pkt_queue.enqueue q b);
+  check_bool "third dropped" false (Pkt_queue.enqueue q c);
+  let st = Pkt_queue.stats q in
+  check_int "dropped bytes = dropped packet size" c.Packet.size
+    st.Pkt_queue.dropped_bytes;
+  check_int "max occupancy seen at the drop" 2 st.Pkt_queue.max_occupancy;
+  (* the cached length stays in lockstep with the queue through a full
+     drain-and-refill cycle *)
+  check_int "len after drop" 2 (Pkt_queue.length q);
+  ignore (Pkt_queue.dequeue q);
+  check_int "len after dequeue" 1 (Pkt_queue.length q);
+  check_int "bytes after dequeue" b.Packet.size (Pkt_queue.byte_length q);
+  ignore (Pkt_queue.dequeue q);
+  check_bool "empty again" true (Pkt_queue.is_empty q);
+  check_bool "accepts after drain" true (Pkt_queue.enqueue q (mk_data ()))
+
+(* ------------------------------ Packet_pool ----------------------- *)
+
+let test_pool_recycles () =
+  Packet_pool.reset_stats ();
+  let acquire seq =
+    Packet_pool.acquire_tenant ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1)
+      ~conn_id:7 ~subflow:0 ~src_port:1000 ~dst_port:80 ~seq ~ack:0
+      ~kind:Packet.Data ~payload:1400 ~ece:false
+  in
+  let a = mk_data () in
+  Packet_pool.release a;
+  let b = acquire 33 in
+  check_bool "physically reused" true (a == b);
+  check_bool "fresh uid" true (b.Packet.uid <> 0);
+  check_int "size recomputed" (1400 + Packet.inner_header_bytes) b.Packet.size;
+  (match b.Packet.payload with
+  | Packet.Tenant inner ->
+    check_int "inner dst reset" 1 (Addr.to_int inner.Packet.dst);
+    check_int "seg seq reset" 33 inner.Packet.seg.Packet.seq
+  | _ -> Alcotest.fail "expected tenant payload");
+  check_bool "no stale encap" true (b.Packet.encap = None);
+  let st = Packet_pool.stats () in
+  check_int "one hit" 1 st.Packet_pool.hits
+
+let test_pool_double_release_ignored () =
+  Packet_pool.reset_stats ();
+  let a = mk_data () in
+  Packet_pool.release a;
+  Packet_pool.release a;
+  let b =
+    Packet_pool.acquire_tenant ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1)
+      ~conn_id:1 ~subflow:0 ~src_port:1 ~dst_port:2 ~seq:0 ~ack:0
+      ~kind:Packet.Data ~payload:10 ~ece:false
+  in
+  let c =
+    Packet_pool.acquire_tenant ~src:(Addr.of_int 0) ~dst:(Addr.of_int 1)
+      ~conn_id:1 ~subflow:0 ~src_port:1 ~dst_port:2 ~seq:0 ~ack:0
+      ~kind:Packet.Data ~payload:10 ~ece:false
+  in
+  (* the second release was a no-op, so only one of the two acquires can
+     be satisfied from the free list — never the same record twice *)
+  check_bool "no aliasing" true (not (b == c));
+  let st = Packet_pool.stats () in
+  check_int "exactly one hit" 1 st.Packet_pool.hits;
+  check_int "second acquire missed" 1 st.Packet_pool.misses
+
 (* ---------------------------------- Link -------------------------- *)
 
 let test_link_delivers_with_latency () =
@@ -406,6 +472,13 @@ let () =
           Alcotest.test_case "drop tail" `Quick test_queue_drop_tail;
           Alcotest.test_case "ecn marking" `Quick test_queue_ecn_marking;
           Alcotest.test_case "non-ect unmarked" `Quick test_queue_no_mark_not_ect;
+          Alcotest.test_case "drop accounting" `Quick test_queue_drop_accounting;
+        ] );
+      ( "packet_pool",
+        [
+          Alcotest.test_case "recycles released packets" `Quick test_pool_recycles;
+          Alcotest.test_case "double release ignored" `Quick
+            test_pool_double_release_ignored;
         ] );
       ( "link",
         [

@@ -1,0 +1,121 @@
+(* Determinism of the parallel sweep engine: fanning experiment points
+   across domains must produce byte-identical results to a serial run —
+   per point, and through the memoized figure path.  These tests spawn
+   real domains (explicit ~domains:2) even on a single-core host. *)
+
+open Experiments
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let small_params seed =
+  {
+    Scenario.default_params with
+    Scenario.asymmetric = true;
+    seed;
+    hosts_per_leaf = 4;
+    fabric_rate_bps = 4.0 *. 10e9 /. 4.0;
+  }
+
+let small_points () =
+  Array.of_list
+    (List.concat_map
+       (fun scheme ->
+         List.concat_map
+           (fun load ->
+             List.map
+               (fun seed ->
+                 {
+                   Sweep.pt_scheme = scheme;
+                   pt_params = small_params seed;
+                   pt_load = load;
+                   pt_jobs_per_conn = 4;
+                 })
+               [ 1; 2 ])
+           [ 0.3; 0.6 ])
+       [ Scenario.S_ecmp; Scenario.S_clove_ecn ])
+
+let dumps results = Array.map Workload.Fct_stats.canonical_dump results
+
+let test_two_domains_byte_identical () =
+  let points = small_points () in
+  let serial = dumps (Sweep.run_points_parallel ~domains:1 points) in
+  let par = dumps (Sweep.run_points_parallel ~domains:2 points) in
+  check_int "same number of results" (Array.length serial) (Array.length par);
+  Array.iteri
+    (fun i s ->
+      check_string (Printf.sprintf "point %d identical under 2 domains" i) s
+        par.(i))
+    serial
+
+let test_results_indexed_not_completion_ordered () =
+  (* points with very different costs: if results were collected in
+     completion order the cheap point would land in the wrong slot *)
+  let mk jobs seed =
+    {
+      Sweep.pt_scheme = Scenario.S_ecmp;
+      pt_params = small_params seed;
+      pt_load = 0.4;
+      pt_jobs_per_conn = jobs;
+    }
+  in
+  let heavy_first = [| mk 10 1; mk 2 2 |] in
+  let serial = dumps (Sweep.run_points_parallel ~domains:1 heavy_first) in
+  let par = dumps (Sweep.run_points_parallel ~domains:2 heavy_first) in
+  check_string "slow point stays at index 0" serial.(0) par.(0);
+  check_string "fast point stays at index 1" serial.(1) par.(1)
+
+let opts = { Sweep.jobs_per_conn = 4; seeds = [ 1; 2 ] }
+
+let memo_spec scheme = (scheme, small_params 1, 0.5, opts)
+
+let test_prefetch_matches_serial_point () =
+  (* the merged, memoized answer must not depend on how it was computed:
+     serial on-demand vs parallel prefetch across 2 domains *)
+  Sweep.clear_memo ();
+  let serial_dump scheme =
+    let (sch, params, load, opts) = memo_spec scheme in
+    Workload.Fct_stats.canonical_dump
+      (Sweep.websearch_point ~scheme:sch ~params ~load ~opts)
+  in
+  let expected_ecmp = serial_dump Scenario.S_ecmp in
+  let expected_clove = serial_dump Scenario.S_clove_ecn in
+  Sweep.clear_memo ();
+  Sweep.prefetch_points ~domains:2
+    [ memo_spec Scenario.S_ecmp; memo_spec Scenario.S_clove_ecn ];
+  let fetched scheme =
+    let (sch, params, load, opts) = memo_spec scheme in
+    Workload.Fct_stats.canonical_dump
+      (Sweep.websearch_point ~scheme:sch ~params ~load ~opts)
+  in
+  check_string "ecmp: prefetched merge identical" expected_ecmp
+    (fetched Scenario.S_ecmp);
+  check_string "clove-ecn: prefetched merge identical" expected_clove
+    (fetched Scenario.S_clove_ecn);
+  Sweep.clear_memo ()
+
+let test_repeated_parallel_runs_stable () =
+  (* same points, same domain count, fresh pool each time: the engine
+     itself must not inject nondeterminism (scheduling, pooling, uids) *)
+  let points = small_points () in
+  let a = dumps (Sweep.run_points_parallel ~domains:2 points) in
+  let b = dumps (Sweep.run_points_parallel ~domains:2 points) in
+  Array.iteri
+    (fun i s -> check_string (Printf.sprintf "run-to-run point %d" i) s b.(i))
+    a
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "2 domains byte-identical to serial" `Quick
+            test_two_domains_byte_identical;
+          Alcotest.test_case "results merged by index" `Quick
+            test_results_indexed_not_completion_ordered;
+          Alcotest.test_case "prefetch equals serial memo path" `Quick
+            test_prefetch_matches_serial_point;
+          Alcotest.test_case "run-to-run stable" `Quick
+            test_repeated_parallel_runs_stable;
+        ] );
+    ]

@@ -83,6 +83,26 @@ let test_unit_mix () =
   none "let x = gap_ns + rtt_ns\n";
   none "let x = a + b\n"
 
+let test_domain_parallel () =
+  one "sema-domain-parallel" "let d = Domain.spawn (fun () -> work ())\n";
+  one "sema-domain-parallel" "let m = Mutex.create ()\n";
+  one "sema-domain-parallel" "let c = Atomic.fetch_and_add counter 1\n";
+  one "sema-domain-parallel" "let () = Condition.broadcast cv\n";
+  (* the parallel runtime itself is whitelisted *)
+  check_int "domain_pool whitelisted" 0
+    (List.length
+       (analyze ~file:"lib/engine/domain_pool.ml"
+          "let d = Domain.spawn (fun () -> work ())\nlet m = Mutex.create ()\n"));
+  check_int "packet_pool whitelisted" 0
+    (List.length
+       (analyze ~file:"lib/netsim/packet_pool.ml"
+          "let key = Domain.DLS.new_key (fun () -> fresh ())\n"));
+  (* calls into the pool are not calls into Domain *)
+  none "let results = Domain_pool.run job points\n";
+  none
+    "(* harness counter -- lint: allow sema-domain-parallel *)\n\
+     let c = Atomic.fetch_and_add counter 1\n"
+
 let test_parse_error () =
   let fs = analyze "let let let\n" in
   check_int "one finding" 1 (List.length fs);
@@ -316,6 +336,7 @@ let () =
           Alcotest.test_case "wildcard-variant" `Quick test_wildcard_variant;
           Alcotest.test_case "time-boundary" `Quick test_time_boundary;
           Alcotest.test_case "unit-mix" `Quick test_unit_mix;
+          Alcotest.test_case "domain-parallel" `Quick test_domain_parallel;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
           Alcotest.test_case "fixture flagged" `Quick test_fixture_flagged;
           Alcotest.test_case "module graph + unused exports" `Quick
