@@ -382,6 +382,98 @@ let parallel_sweep_benchmark () =
     exit 1
   end
 
+(* ------------- part 5: chaos resilience benchmark ------------------ *)
+
+(* The ext-chaos scorecard run serially and across the domain pool with
+   the same seed.  Records the per-scheme resilience verdicts as
+   BENCH_chaos.json and cross-checks that both runs produce byte-identical
+   FCT records — fault injection is scheduler-driven and must not break
+   the sweep engine's determinism guarantee. *)
+let chaos_benchmark () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let jobs =
+    match Sys.getenv_opt "CLOVE_BENCH_QUICK" with Some _ -> 250 | None -> 750
+  in
+  let opts = { Chaos.default_opts with Chaos.jobs_per_conn = jobs } in
+  let time f =
+    (* wall-clock speedup measurement of the harness — lint: allow sema-wall-clock *)
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (* wall-clock speedup measurement of the harness — lint: allow sema-wall-clock *)
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_wall = time (fun () -> Chaos.run ~domains:1 opts) in
+  let domains = Domain_pool.default_domains () in
+  let par, par_wall = time (fun () -> Chaos.run ~domains opts) in
+  let identical =
+    Array.for_all2
+      (fun (s : Chaos.row) (p : Chaos.row) ->
+        Workload.Fct_stats.canonical_dump s.Chaos.r_fct
+        = Workload.Fct_stats.canonical_dump p.Chaos.r_fct)
+      serial par
+  in
+  let speedup = if par_wall > 0.0 then serial_wall /. par_wall else nan in
+  let row_json (r : Chaos.row) =
+    Analysis.Json_out.Obj
+      [
+        ("scheme", String (Scenario.scheme_name r.Chaos.r_scheme));
+        ("pre_fct_avg_sec", Float r.Chaos.r_pre_avg);
+        ("fault_fct_avg_sec", Float r.Chaos.r_fault_avg);
+        ("post_fct_avg_sec", Float r.Chaos.r_post_avg);
+        ("post_baseline_fct_avg_sec", Float r.Chaos.r_post_base_avg);
+        ("post_fct_p99_sec", Float r.Chaos.r_post_p99);
+        ("goodput_lost_bytes", Float r.Chaos.r_goodput_lost);
+        ( "time_to_recover_sec",
+          match r.Chaos.r_time_to_recover with
+          | None -> Analysis.Json_out.Null
+          | Some t -> Float t );
+        ("recovered", Bool r.Chaos.r_recovered);
+        ( "fct_digest",
+          String
+            (Digest.to_hex
+               (Digest.string (Workload.Fct_stats.canonical_dump r.Chaos.r_fct)))
+        );
+      ]
+  in
+  let record =
+    Analysis.Json_out.Obj
+      [
+        ("scenario", String "chaos");
+        ("fault_plan", String Chaos.default_plan_spec);
+        ("load", Float opts.Chaos.load);
+        ("jobs_per_conn", Int jobs);
+        ("seed", Int opts.Chaos.seed);
+        ("domains", Int domains);
+        ("wall_time_sec", Float par_wall);
+        ("serial_wall_time_sec", Float serial_wall);
+        ("speedup_vs_serial", Float speedup);
+        ("deterministic", Bool identical);
+        ("rows", List (Array.to_list (Array.map row_json par)));
+      ]
+  in
+  let path = Filename.concat "results" "BENCH_chaos.json" in
+  Analysis.Json_out.to_file path record;
+  Format.printf
+    "== chaos resilience (%s; %d jobs/conn) ==@.  serial %.2fs  parallel \
+     %.2fs (%d domain%s)  deterministic %b  -> %s@."
+    Chaos.default_plan_spec jobs serial_wall par_wall domains
+    (if domains = 1 then "" else "s")
+    identical path;
+  Array.iter
+    (fun (r : Chaos.row) ->
+      Format.printf "  %-24s recovered %b  ttr %s@."
+        (Scenario.scheme_name r.Chaos.r_scheme)
+        r.Chaos.r_recovered
+        (match r.Chaos.r_time_to_recover with
+        | None -> "-"
+        | Some t -> Printf.sprintf "%.0fms" (1e3 *. t)))
+    par;
+  Format.printf "@.";
+  if not identical then begin
+    Format.eprintf "chaos benchmark: parallel run diverged from serial@.";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* consume `--domains N` (overrides CLOVE_DOMAINS) before anything else *)
@@ -405,7 +497,8 @@ let () =
      CLOVE_DOMAINS / --domains N set the sweep pool width)@.@.";
   if List.mem "--scenarios-only" args then begin
     scenario_benchmarks ();
-    parallel_sweep_benchmark ()
+    parallel_sweep_benchmark ();
+    chaos_benchmark ()
   end
   else if List.mem "--figures-only" args then run_figures figure_ids
   else begin
@@ -413,6 +506,7 @@ let () =
     if not (List.mem "--micro-only" args) then begin
       scenario_benchmarks ();
       parallel_sweep_benchmark ();
+      chaos_benchmark ();
       run_figures figure_ids
     end
   end

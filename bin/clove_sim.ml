@@ -5,7 +5,9 @@
      exp         — regenerate a paper figure by id (fig4b ... fig9, ablations)
      list        — list available experiments
      determinism — schedule-perturbation sanitizer: same-seed digests must
-                   survive perturbed tie-breaking and Hashtbl sizing *)
+                   survive perturbed tie-breaking and Hashtbl sizing
+     chaos       — execute a deterministic fault plan against each scheme and
+                   print the per-scheme resilience scorecard + FCT digests *)
 
 open Cmdliner
 open Experiments
@@ -188,6 +190,141 @@ let determinism_cmd =
           on any mismatch.")
     term
 
+let chaos_cmd =
+  let run faults schemes load jobs seed hosts domains audit no_recovery
+      assert_recovery =
+    apply_domains domains;
+    if audit then Analysis.Audit.set_enabled true;
+    let plan =
+      match Faults.Fault_plan.parse faults with
+      | Ok p -> p
+      | Error e ->
+        Format.eprintf "clove-sim chaos: bad --faults spec: %s@." e;
+        exit 2
+    in
+    let schemes =
+      if schemes = [] then Chaos.default_opts.Chaos.schemes else schemes
+    in
+    let params =
+      {
+        Chaos.default_opts.Chaos.params with
+        Scenario.seed;
+        hosts_per_leaf = hosts;
+        fabric_rate_bps = float_of_int hosts *. 10e9 /. 4.0;
+      }
+    in
+    let opts =
+      {
+        Chaos.plan;
+        schemes;
+        load;
+        jobs_per_conn = jobs;
+        seed;
+        params;
+        recovery = not no_recovery;
+      }
+    in
+    let rows = Chaos.run opts in
+    Format.printf "%a@." Figures.pp_report (Chaos.scorecard ~plan rows);
+    Array.iter
+      (fun r ->
+        Format.printf "digest %-14s %s@."
+          (Scenario.scheme_name r.Chaos.r_scheme)
+          (Digest.to_hex
+             (Digest.string (Workload.Fct_stats.canonical_dump r.Chaos.r_fct))))
+      rows;
+    if audit then begin
+      print_string (Analysis.Audit.report ());
+      if not (Analysis.Audit.ok ()) then exit 1
+    end;
+    if assert_recovery then begin
+      let is_clove r =
+        match r.Chaos.r_scheme with
+        | Scenario.S_clove_ecn | Scenario.S_clove_int | Scenario.S_clove_latency
+          ->
+          true
+        | _ -> false
+      in
+      match Array.to_list rows |> List.filter is_clove with
+      | [] ->
+        Format.eprintf "chaos: --assert-recovery needs a clove-* scheme@.";
+        exit 2
+      | clove_rows ->
+        List.iter
+          (fun r ->
+            if not r.Chaos.r_recovered then begin
+              Analysis.Audit.record_violation ~invariant:"chaos-recovery"
+                ~detail:
+                  (Printf.sprintf
+                     "%s post-fault avg FCT %.4fs not within 10%% of pre-fault \
+                      %.4fs"
+                     (Scenario.scheme_name r.Chaos.r_scheme)
+                     r.Chaos.r_post_avg r.Chaos.r_pre_avg);
+              Format.eprintf "chaos: %s did not recover@."
+                (Scenario.scheme_name r.Chaos.r_scheme);
+              exit 1
+            end)
+          clove_rows
+    end
+  in
+  let faults_arg =
+    let doc =
+      "Fault plan, e.g. $(b,\"down s2-l2b\\@60ms; up s2-l2b\\@120ms\").  \
+       Verbs: down, up, flap (period=, duty=, until=), brownout (frac=, \
+       loss=, until=), feedback-loss (prob=, until=), probe-loss (prob=, \
+       until=), switch-down, switch-up.  Times use ns/us/ms/s suffixes."
+    in
+    Arg.(
+      value
+      & opt string "down s2-l2b@60ms; up s2-l2b@120ms"
+      & info [ "faults"; "f" ] ~doc ~docv:"PLAN")
+  in
+  let schemes_arg =
+    let doc = "Scheme to score (repeatable; default: clove-ecn and ecmp)." in
+    Arg.(value & opt_all scheme_conv [] & info [ "scheme"; "s" ] ~doc)
+  in
+  let audit_arg =
+    let doc = "Run with the runtime invariant auditor enabled (serial)." in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let no_recovery_arg =
+    let doc =
+      "Disable the Clove failure-recovery hardening (black-hole negative \
+       control)."
+    in
+    Arg.(value & flag & info [ "no-recovery" ] ~doc)
+  in
+  let assert_recovery_arg =
+    let doc =
+      "Exit 1 unless every clove-* scheme recovers to within 10% of its \
+       pre-fault avg FCT."
+    in
+    Arg.(value & flag & info [ "assert-recovery" ] ~doc)
+  in
+  let chaos_jobs_arg =
+    let doc =
+      "Jobs per persistent connection (the run must outlast the fault plan)."
+    in
+    Arg.(value & opt int 750 & info [ "jobs"; "j" ] ~doc)
+  in
+  let chaos_load_arg =
+    let doc = "Offered load as a fraction of the bisection bandwidth." in
+    Arg.(value & opt float 0.25 & info [ "load"; "l" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run $ faults_arg $ schemes_arg $ chaos_load_arg $ chaos_jobs_arg
+      $ seed_arg $ hosts_arg $ domains_arg $ audit_arg $ no_recovery_arg
+      $ assert_recovery_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Execute a deterministic fault plan against each scheme and print a \
+          resilience scorecard (pre/fault/post FCT, goodput lost, \
+          time-to-recover) plus per-scheme FCT digests.")
+    term
+
 let list_cmd =
   let run () =
     List.iter (fun (id, _) -> print_endline id) (Figures.all ());
@@ -198,4 +335,6 @@ let list_cmd =
 let () =
   let doc = "Clove (CoNEXT'17) reproduction: congestion-aware edge load balancing." in
   let info = Cmd.info "clove-sim" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd; determinism_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; exp_cmd; list_cmd; determinism_cmd; chaos_cmd ]))

@@ -19,6 +19,14 @@ type t = {
   clove_reorder : bool;
   adaptive_flowlet_gap : bool;
   expose_ecn_to_guest : bool;
+  failure_recovery : bool;
+  path_staleness : Sim_time.span;
+  path_suspect_timeout : Sim_time.span;
+  suspect_decay : float;
+  weight_recovery_quiet : Sim_time.span;
+  weight_recovery_rate : float;
+  maintain_interval : Sim_time.span;
+  evict_after_cycles : int;
 }
 
 let with_rtt rtt =
@@ -43,6 +51,20 @@ let with_rtt rtt =
     clove_reorder = false;
     adaptive_flowlet_gap = false;
     expose_ecn_to_guest = false;
+    failure_recovery = true;
+    path_staleness = Sim_time.mul_span rtt 50.0;
+    path_suspect_timeout = Sim_time.mul_span rtt 20.0;
+    suspect_decay = 0.5;
+    (* quiet window 4x the congestion-feedback cadence (congested_window
+       = 4 rtt): a path still receiving marks never drifts, while weights
+       skewed by a hotspot or fault that has cleared heal within a few
+       maintain cycles.  Chaos-calibrated: gentler rates leave stale skew
+       in place long enough to hurt the fault-free baseline more than the
+       drift ever hurts a faulted run. *)
+    weight_recovery_quiet = Sim_time.mul_span rtt 16.0;
+    weight_recovery_rate = 0.25;
+    maintain_interval = Sim_time.mul_span rtt 8.0;
+    evict_after_cycles = 2;
   }
 
 let default = with_rtt (Sim_time.us 60)

@@ -50,6 +50,34 @@ type t = {
       (** copy fabric CE marks into the inner header on delivery instead of
           masking them — for DCTCP guest stacks (Section 7), which want the
           full stream of marks *)
+  failure_recovery : bool;
+      (** master switch for the failure-recovery hardening below (sample
+          aging, black-hole weight decay, post-congestion recovery,
+          traceroute full-miss eviction).  Off restores the paper's literal
+          behavior: state only changes on explicit feedback. *)
+  path_staleness : Sim_time.span;
+      (** latency/utilization samples older than this are ignored by
+          [pick_min_latency]/[pick_least_utilized]; a port whose last
+          traceroute verification is also older counts as unusable instead
+          of as a zero-delay winner *)
+  path_suspect_timeout : Sim_time.span;
+      (** a path that carried transmissions for this long with no returning
+          evidence (feedback, ACK credit, probe verification) is suspect:
+          its weight decays toward zero — black-hole eviction, §3.1's
+          "adapt to changes and failures" *)
+  suspect_decay : float;
+      (** fraction of a suspect path's weight removed per maintenance tick *)
+  weight_recovery_quiet : Sim_time.span;
+      (** a path with no congestion feedback for this long regains weight
+          toward uniform, so a transient failure does not permanently
+          starve a healed path *)
+  weight_recovery_rate : float;
+      (** per-maintenance-tick drift of a quiet path's weight toward its
+          uniform share *)
+  maintain_interval : Sim_time.span;  (** path-table maintenance period *)
+  evict_after_cycles : int;
+      (** consecutive traceroute cycles with zero reaching ports before the
+          stale install is cleared (falling back to ECMP hashing) *)
 }
 
 val default : t

@@ -9,6 +9,7 @@ type dst_state = {
   pending : (int, int * int) Hashtbl.t; (* probe_id -> (port, ttl) *)
   mutable port_states : (int, port_state) Hashtbl.t;
   mutable installed_ports : int list;
+  mutable empty_cycles : int; (* consecutive cycles with zero usable paths *)
   mutable next_probe : int;
 }
 
@@ -22,6 +23,7 @@ type t = {
   dsts : (int, dst_state) Hashtbl.t;
   mutable probes_sent : int;
   mutable cycles : int;
+  mutable evictions : int;
   mutable stopped : bool;
 }
 
@@ -44,11 +46,13 @@ let create ~sched ~cfg ~rng ~host_addr ~tx ~on_paths =
     dsts = Det.create 16;
     probes_sent = 0;
     cycles = 0;
+    evictions = 0;
     stopped = false;
   }
 
 let probes_sent t = t.probes_sent
 let cycles_completed t = t.cycles
+let evictions t = t.evictions
 let stop t = t.stopped <- true
 let random_port (st : dst_state) = 49152 + Rng.int st.rng 16384
 
@@ -103,8 +107,26 @@ let finalize_cycle t st =
   let picked = Clove_path.select_disjoint ~k:t.cfg.Clove_config.k_paths (List.rev candidates) in
   t.cycles <- t.cycles + 1;
   if picked <> [] then begin
+    st.empty_cycles <- 0;
     st.installed_ports <- List.map fst picked;
     t.on_paths ~dst:st.dst picked
+  end
+  else begin
+    (* zero usable paths this cycle: previously the stale install simply
+       stayed in place forever.  Count consecutive dry cycles and, once
+       the eviction threshold is reached, clear the install so the path
+       table stops steering traffic into ports nobody has verified; the
+       next cycles keep probing fresh random ports for rediscovery. *)
+    st.empty_cycles <- st.empty_cycles + 1;
+    if
+      t.cfg.Clove_config.failure_recovery
+      && st.installed_ports <> []
+      && st.empty_cycles >= t.cfg.Clove_config.evict_after_cycles
+    then begin
+      st.installed_ports <- [];
+      t.evictions <- t.evictions + 1;
+      t.on_paths ~dst:st.dst []
+    end
   end
 
 let rec run_cycle t ~key st =
@@ -142,6 +164,7 @@ let add_destination t dst =
         pending = Det.create 64;
         port_states = Det.create 32;
         installed_ports = [];
+        empty_cycles = 0;
         next_probe = 0;
       }
     in

@@ -38,6 +38,8 @@ type stats = {
   congestion_feedback_seen : int;
   escalations : int;
   probes_answered : int;
+  feedback_dropped : int;
+  probes_dropped : int;
 }
 
 (* receiver-side relay state about one remote (sending) hypervisor *)
@@ -73,6 +75,12 @@ type t = {
   reorder_seq : (int, int ref) Hashtbl.t; (* clove_reorder per-flow counter *)
   peers : (int, peer_rx_state) Hashtbl.t;
   mutable daemon : Traceroute.t option;
+  (* fault-injection drop points, driven by the chaos layer; the rng is a
+     dedicated substream consumed only while a loss probability is set *)
+  faults_rng : Rng.t;
+  mutable fb_loss : float;
+  mutable probe_loss : float;
+  mutable stopped : bool;
   mutable s_tx : int;
   mutable s_rx : int;
   mutable s_piggy : int;
@@ -80,6 +88,8 @@ type t = {
   mutable s_fb_seen : int;
   mutable s_escalations : int;
   mutable s_probes_answered : int;
+  mutable s_fb_dropped : int;
+  mutable s_probes_dropped : int;
 }
 
 let needs_discovery = function
@@ -198,7 +208,10 @@ let pop_feedback t ~to_hv =
 
 (* --------------- feedback application (source side) --------------- *)
 
-let apply_feedback t ~peer_hv fb =
+let feedback_lost t = t.fb_loss > 0.0 && Rng.float t.faults_rng 1.0 < t.fb_loss
+let probe_lost t = t.probe_loss > 0.0 && Rng.float t.faults_rng 1.0 < t.probe_loss
+
+let apply_feedback_live t ~peer_hv fb =
   t.s_fb_seen <- t.s_fb_seen + 1;
   let tbl = table t peer_hv in
   (match fb with
@@ -221,6 +234,12 @@ let apply_feedback t ~peer_hv fb =
     t.s_escalations <- t.s_escalations + 1;
     Transport.Stack.ecn_signal_all t.stack ~dst:peer_hv
   end
+
+(* the Feedback_loss fault: congestion feedback evaporates at the vswitch
+   before the path table learns anything from it *)
+let apply_feedback t ~peer_hv fb =
+  if feedback_lost t then t.s_fb_dropped <- t.s_fb_dropped + 1
+  else apply_feedback_live t ~peer_hv fb
 
 (* ----------------------- outbound dataplane ----------------------- *)
 
@@ -352,6 +371,12 @@ let tx t pkt =
             cell;
           };
       pkt.Packet.size <- wire_size;
+      (* arm the black-hole detector: the path carrying this packet owes
+         us liveness evidence (feedback or an ACK) within the timeout *)
+      (match t.scheme with
+      | Clove_ecn | Clove_int | Clove_latency | Presto ->
+        Path_table.note_tx (table t dst) ~port
+      | Ecmp | Edge_flowlet | Direct -> ());
       if !Analysis.Audit.on then
         pkt.Packet.audit_seq <- Analysis.Audit.fifo_tx ~stream:flow_key ~port;
       (match t.scheme with
@@ -375,6 +400,22 @@ let rx_tenant t pkt (inner : Packet.inner) =
     if !Analysis.Audit.on && pkt.Packet.audit_seq >= 0 then
       Analysis.Audit.fifo_rx ~stream:(Packet.tcp_flow_key inner)
         ~port:e.Packet.src_port ~seq:pkt.Packet.audit_seq;
+    (* an inbound ACK proves the forward path of that flow delivered data
+       recently: credit liveness to the port the flow is pinned to, so a
+       healthy-but-feedback-quiet path is never decayed as a black hole *)
+    (if inner.Packet.seg.Packet.kind = Packet.Ack then
+       match t.scheme with
+       | Clove_ecn | Clove_int | Clove_latency ->
+         (match Hashtbl.find_opt t.tables (Addr.to_int inner.Packet.src) with
+         | None -> ()
+         | Some tbl -> (
+           match
+             Flowlet.active_flowlet t.flowlets
+               ~key:(Packet.tcp_flow_key_rev inner)
+           with
+           | Some port -> Path_table.note_alive tbl ~port
+           | None -> ()))
+       | Ecmp | Edge_flowlet | Presto | Direct -> ());
     (* source-side: apply feedback the peer piggybacked for us *)
     (match e.Packet.feedback with
     | Some fb -> apply_feedback t ~peer_hv:e.Packet.src_hv fb
@@ -424,15 +465,24 @@ let rx t pkt =
       | None -> ())
     | None -> ());
     if p.Packet.probe_id >= 0 then begin
-      t.s_probes_answered <- t.s_probes_answered + 1;
-      let reply =
-        Traceroute.answer_probe ~host_addr:(Host.addr t.host)
-          ~remaining_ttl:pkt.Packet.ttl p
-      in
-      Host.send t.host reply
+      (* Probe_loss fault: the traceroute probe dies at the vswitch *)
+      if probe_lost t then t.s_probes_dropped <- t.s_probes_dropped + 1
+      else begin
+        t.s_probes_answered <- t.s_probes_answered + 1;
+        let reply =
+          Traceroute.answer_probe ~host_addr:(Host.addr t.host)
+            ~remaining_ttl:pkt.Packet.ttl p
+        in
+        Host.send t.host reply
+      end
     end
   | Packet.Probe_reply r -> (
-    match t.daemon with Some d -> Traceroute.on_reply d r | None -> ())
+    match t.daemon with
+    | Some d ->
+      (* Probe_loss also covers the reply direction *)
+      if probe_lost t then t.s_probes_dropped <- t.s_probes_dropped + 1
+      else Traceroute.on_reply d r
+    | None -> ())
 
 let create ~host ~stack ~scheme ~cfg ~rng () =
   let sched = Host.sched host in
@@ -455,6 +505,10 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
         reorder_seq = Det.create 64;
         peers = Det.create 16;
         daemon = None;
+        faults_rng = Rng.split_named rng "fault-drops";
+        fb_loss = 0.0;
+        probe_loss = 0.0;
+        stopped = false;
         s_tx = 0;
         s_rx = 0;
         s_piggy = 0;
@@ -462,9 +516,11 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
         s_fb_seen = 0;
         s_escalations = 0;
         s_probes_answered = 0;
+        s_fb_dropped = 0;
+        s_probes_dropped = 0;
       }
   in
-  if needs_discovery scheme then
+  if needs_discovery scheme then begin
     t.daemon <-
       Some
         (Traceroute.create ~sched ~cfg
@@ -472,8 +528,41 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
            ~host_addr:(Host.addr host)
            ~tx:(fun pkt -> Host.send host pkt)
            ~on_paths:(fun ~dst pairs -> on_paths t ~dst pairs));
+    (* recovery maintenance: periodic suspect decay / weight recovery over
+       every path table, self-rescheduling until [stop] like the daemon *)
+    if cfg.Clove_config.failure_recovery then begin
+      let rec tick () =
+        if not t.stopped then begin
+          Det.iter_sorted ~compare:Int.compare
+            (fun _ tbl -> Path_table.maintain tbl)
+            t.tables;
+          let (_ : Scheduler.handle) =
+            Scheduler.schedule t.sched
+              ~after:t.cfg.Clove_config.maintain_interval tick
+          in
+          ()
+        end
+      in
+      let (_ : Scheduler.handle) =
+        Scheduler.schedule sched ~after:cfg.Clove_config.maintain_interval tick
+      in
+      ()
+    end
+  end;
   Host.set_handler host (fun pkt -> rx t pkt);
   t
+
+let set_fault_profile t ~feedback_loss ~probe_loss =
+  if feedback_loss < 0.0 || feedback_loss >= 1.0 then
+    invalid_arg "Vswitch.set_fault_profile: feedback_loss must be in [0, 1)";
+  if probe_loss < 0.0 || probe_loss >= 1.0 then
+    invalid_arg "Vswitch.set_fault_profile: probe_loss must be in [0, 1)";
+  t.fb_loss <- feedback_loss;
+  t.probe_loss <- probe_loss
+
+let clear_fault_profile t =
+  t.fb_loss <- 0.0;
+  t.probe_loss <- 0.0
 
 let set_presto_weight_fn t f = t.presto_weight_fn <- f
 
@@ -496,7 +585,12 @@ let stats t =
     congestion_feedback_seen = t.s_fb_seen;
     escalations = t.s_escalations;
     probes_answered = t.s_probes_answered;
+    feedback_dropped = t.s_fb_dropped;
+    probes_dropped = t.s_probes_dropped;
   }
 
 let flowlet_table_gap t = Flowlet.gap t.flowlets
-let stop t = match t.daemon with Some d -> Traceroute.stop d | None -> ()
+
+let stop t =
+  t.stopped <- true;
+  match t.daemon with Some d -> Traceroute.stop d | None -> ()

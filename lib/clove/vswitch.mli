@@ -50,6 +50,8 @@ type stats = {
   congestion_feedback_seen : int;  (** CE/INT observations relayed to us *)
   escalations : int;  (** "all paths congested" signals to local guests *)
   probes_answered : int;
+  feedback_dropped : int;  (** feedback lost to an injected Feedback_loss fault *)
+  probes_dropped : int;  (** probes/replies lost to an injected Probe_loss fault *)
 }
 
 val create :
@@ -73,10 +75,22 @@ val set_presto_weight_fn : t -> (Clove_path.t -> float) -> unit
 (** Static per-path Presto weights, evaluated when paths are (re)installed;
     default weights are uniform. *)
 
+val set_fault_profile : t -> feedback_loss:float -> probe_loss:float -> unit
+(** Install vswitch-local fault-injection drop probabilities (both in
+    [0, 1)): [feedback_loss] makes congestion feedback evaporate before the
+    path table sees it; [probe_loss] kills traceroute probes arriving at
+    this vswitch and probe replies returning to it.  Randomness comes from
+    a dedicated ["fault-drops"] substream consumed only while a
+    probability is non-zero, so fault-free runs are byte-identical to runs
+    without this subsystem. *)
+
+val clear_fault_profile : t -> unit
+
 val path_table : t -> Addr.t -> Path_table.t option
 val scheme : t -> scheme
 val host : t -> Host.t
 val stats : t -> stats
 val flowlet_table_gap : t -> Sim_time.span
 val stop : t -> unit
-(** Stop the traceroute daemon (end of experiment). *)
+(** Stop the traceroute daemon and the recovery maintenance timer (end of
+    experiment). *)

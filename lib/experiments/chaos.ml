@@ -1,0 +1,268 @@
+(* The ext-chaos experiment family: run a deterministic fault plan against
+   each scheme and distill a per-scheme resilience scorecard. *)
+
+type opts = {
+  plan : Faults.Fault_plan.t;
+  schemes : Scenario.scheme list;
+  load : float;
+  jobs_per_conn : int;
+  seed : int;
+  params : Scenario.params;
+  recovery : bool;  (** Clove failure-recovery hardening on/off *)
+}
+
+let default_plan_spec = "flap s2-l2b period=20ms duty=0.5 until=120ms @60ms"
+
+let default_plan () =
+  match Faults.Fault_plan.parse default_plan_spec with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Chaos.default_plan: " ^ e)
+
+let default_opts =
+  {
+    plan = [];
+    schemes = [ Scenario.S_clove_ecn; Scenario.S_ecmp ];
+    (* load 0.25 keeps the fault-free fabric clearly stable for every
+       scheme (at 0.4, ECMP's own hash-collision backlog is as costly as
+       a fault, blurring the before/after comparison); 750 jobs per
+       connection carries the run well past the restoration *)
+    load = 0.25;
+    jobs_per_conn = 750;
+    seed = 1;
+    params =
+      {
+        Scenario.default_params with
+        (* frequent probing so rediscovery lands within the run, exactly
+           like the ext-failure timeline experiment *)
+        Scenario.probe_interval = Some (Sim_time.ms 20);
+      };
+    recovery = true;
+  }
+
+type row = {
+  r_scheme : Scenario.scheme;
+  r_pre_avg : float;  (** avg mice FCT (s), flows arriving before the fault *)
+  r_fault_avg : float;  (** avg mice FCT (s), flows arriving in the window *)
+  r_post_avg : float;  (** avg mice FCT (s), flows arriving after restore *)
+  r_post_base_avg : float;  (** same post window in the fault-free baseline *)
+  r_post_p99 : float;
+  r_goodput_lost : float;  (** bytes the fault window failed to deliver *)
+  r_time_to_recover : float option;
+      (** seconds after the disruption settles until the scheme's mice
+          FCT is sustainably (to end of run) within 10% of the fault-free
+          baseline; [None] = never within this run *)
+  r_recovered : bool;  (** [r_time_to_recover <> None] *)
+  r_fct : Workload.Fct_stats.t;
+}
+
+let recovery_slack = 1.10 (* "within 10% of the fault-free baseline" *)
+let ttr_bucket_sec = 10e-3
+let min_tail_flows = 30
+
+(* One seeded scenario run; [plan = []] is the fault-free baseline.  The
+   baseline is byte-identical to the faulted run up to the first fault
+   event (same seed, and Rng.split_named derives the engine's streams
+   without advancing the parent), so it is an exact control: windowed
+   comparisons isolate the fault's cost from workload-sampling noise and
+   secular backlog drift. *)
+let simulate opts scheme plan =
+  let params =
+    {
+      opts.params with
+      Scenario.seed = opts.seed;
+      failure_recovery = opts.recovery;
+    }
+  in
+  let scn = Scenario.build ~scheme params in
+  let sched = Scenario.sched scn in
+  let servers = Scenario.servers scn in
+  (* one-to-one pairing isolates the fabric fault from server-access-link
+     collisions (same setup as the ext-failure timeline) *)
+  let conns =
+    Array.mapi
+      (fun i client -> Scenario.connect scn ~src:client ~dst:servers.(i))
+      (Scenario.clients scn)
+  in
+  let vswitches =
+    Array.map (fun h -> Scenario.vswitch scn h) (Fabric.hosts (Scenario.fabric scn))
+  in
+  let engine =
+    Faults.Fault_engine.create ~sched ~fabric:(Scenario.fabric scn) ~vswitches
+      ~naming:(Faults.Fault_engine.leaf_spine_naming (Scenario.leaf_spine scn))
+      ~rng:(Rng.split_named (Scenario.rng scn) "faults")
+  in
+  (match Faults.Fault_engine.arm engine plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Chaos.run_scheme: " ^ e));
+  let cfg =
+    {
+      Workload.Websearch.load = opts.load;
+      bisection_bps = Scenario.bisection_bps scn;
+      jobs_per_conn = opts.jobs_per_conn;
+      size_dist = Scenario.size_dist scn;
+      start_at = Scenario.warmup scn;
+    }
+  in
+  let fct = Workload.Websearch.run ~sched ~rng:(Scenario.rng scn) ~conns cfg in
+  Faults.Fault_engine.stop engine;
+  Scenario.quiesce scn;
+  fct
+
+(* Mice slice: mice FCT tracks queueing and congestion directly, while
+   whole-distribution averages are dominated by how many rare elephants
+   each window happened to sample (the short pre-fault window sees almost
+   none).  Cutoff matches the scenario's 0.25x size scaling. *)
+let mice_of fct =
+  Workload.Fct_stats.filter_size
+    ~max_size:(Workload.Fct_stats.mice_cutoff / 4)
+    fct
+
+let run_scheme opts scheme =
+  let plan = if opts.plan = [] then default_plan () else opts.plan in
+  let fct = simulate opts scheme plan in
+  let base = simulate opts scheme [] in
+  (* ------------------------- scorecard ---------------------------- *)
+  (* [t_settle]: when the disruption stops changing — the restoration if
+     every fault ends, else the last fault event of a permanent plan.
+     Recovery is judged from there: for a restored link it means "back to
+     normal service", for a permanent failure it means "adapted to the
+     degraded fabric" (which congestion-aware schemes can do and ECMP
+     cannot). *)
+  let t_fault, t_settle =
+    match Faults.Fault_plan.disruption_window plan with
+    | None -> (infinity, infinity)
+    | Some (start, stop) ->
+      let last_event =
+        List.fold_left
+          (fun acc (e : Faults.Fault_plan.event) ->
+            Float.max acc (Sim_time.span_to_sec e.Faults.Fault_plan.at))
+          0.0 plan
+      in
+      (match stop with
+      | Some s -> (Sim_time.span_to_sec start, Sim_time.span_to_sec s)
+      | None -> (Sim_time.span_to_sec start, last_event))
+  in
+  let mice = mice_of fct in
+  let mice_base = mice_of base in
+  let pre = Workload.Fct_stats.window ~from:0.0 ~until:t_fault mice in
+  let during = Workload.Fct_stats.window ~from:t_fault ~until:t_settle mice in
+  let post = Workload.Fct_stats.window ~from:t_settle ~until:infinity mice in
+  let post_base =
+    Workload.Fct_stats.window ~from:t_settle ~until:infinity mice_base
+  in
+  let post_avg = Workload.Fct_stats.avg post in
+  let post_base_avg = Workload.Fct_stats.avg post_base in
+  (* goodput lost: bytes the fault window delivered below what the same
+     window delivered fault-free.  Zero for single-event permanent plans
+     (their fault window is empty — all their cost shows up in postFCT). *)
+  let goodput_lost =
+    if Float.is_finite t_fault && Float.is_finite t_settle then
+      let delivered w =
+        Workload.Fct_stats.completed_bytes_in ~from:t_fault ~until:t_settle w
+      in
+      float_of_int (max 0 (delivered base - delivered fct))
+    else 0.0
+  in
+  (* Sustained recovery: the earliest post-settle instant from which the
+     ENTIRE remaining run averages within 10% of the fault-free baseline
+     over the same arrivals.  Suffix averages (rather than single
+     buckets) make one lucky bucket insufficient — the recovery has to
+     hold to the end of the run; [min_tail_flows] keeps the last few
+     stragglers from deciding the verdict. *)
+  let time_to_recover =
+    if not (Float.is_finite t_settle) then None
+    else
+      let rec search i =
+        if i > 1000 then None
+        else
+          let b = t_settle +. (float_of_int i *. ttr_bucket_sec) in
+          let f = Workload.Fct_stats.window ~from:b ~until:infinity mice in
+          let bl =
+            Workload.Fct_stats.window ~from:b ~until:infinity mice_base
+          in
+          if
+            Workload.Fct_stats.count f < min_tail_flows
+            || Workload.Fct_stats.count bl < min_tail_flows
+          then None
+          else if
+            Workload.Fct_stats.avg f
+            <= recovery_slack *. Workload.Fct_stats.avg bl
+          then Some (float_of_int i *. ttr_bucket_sec)
+          else search (i + 1)
+      in
+      search 0
+  in
+  let recovered = time_to_recover <> None in
+  {
+    r_scheme = scheme;
+    r_pre_avg = Workload.Fct_stats.avg pre;
+    r_fault_avg = Workload.Fct_stats.avg during;
+    r_post_avg = post_avg;
+    r_post_base_avg = post_base_avg;
+    r_post_p99 = Workload.Fct_stats.percentile post 99.0;
+    r_goodput_lost = goodput_lost;
+    r_time_to_recover = time_to_recover;
+    r_recovered = recovered;
+    r_fct = fct;
+  }
+
+let run ?domains opts =
+  (* one fully private scenario per scheme: embarrassingly parallel, and
+     results return by scheme index so the scorecard (and its digests)
+     are identical at any domain count.  Audited runs stay serial — the
+     auditor's tables are global. *)
+  let schemes = Array.of_list opts.schemes in
+  if !Analysis.Audit.on then Array.map (run_scheme opts) schemes
+  else Domain_pool.run ?domains (run_scheme opts) schemes
+
+let ms v = if Float.is_nan v then nan else 1e3 *. v
+
+let scorecard ~plan rows =
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "scheme";
+          "preFCT(ms)";
+          "faultFCT(ms)";
+          "postFCT(ms)";
+          "basePost(ms)";
+          "postP99(ms)";
+          "lost(MB)";
+          "ttr(ms)";
+          "recovered";
+        ]
+  in
+  Array.iter
+    (fun r ->
+      Stats.Table.add_float_row table
+        ~label:(Scenario.scheme_name r.r_scheme)
+        [
+          ms r.r_pre_avg;
+          ms r.r_fault_avg;
+          ms r.r_post_avg;
+          ms r.r_post_base_avg;
+          ms r.r_post_p99;
+          r.r_goodput_lost /. 1e6;
+          (match r.r_time_to_recover with None -> nan | Some t -> ms t);
+          (if r.r_recovered then 1.0 else 0.0);
+        ])
+    rows;
+  {
+    Figures.id = "ext-chaos";
+    title =
+      Printf.sprintf "Chaos scorecard, mice FCT [%s] (extension)"
+        (Faults.Fault_plan.to_string plan);
+    paper_claim =
+      "Section 3.1: \"probes are sent periodically to adapt to changes and \
+       failures\" — with failure-recovery hardening, Clove-ECN should \
+       return to within 10% of its fault-free baseline FCT after \
+       restoration while ECMP keeps paying for the backlog built during \
+       the fault";
+    table;
+  }
+
+let report ?domains ?(opts = default_opts) () =
+  let plan = if opts.plan = [] then default_plan () else opts.plan in
+  let rows = run ?domains { opts with plan } in
+  scorecard ~plan rows

@@ -1,0 +1,77 @@
+(** The ext-chaos experiment family: execute a deterministic fault plan
+    against each load-balancing scheme on the paper's testbed scenario and
+    distill a per-scheme {e resilience scorecard}:
+
+    - avg mice FCT of flows arriving before, during, and after the fault
+      window (by arrival, like the paper's timeline methodology; mice so
+      a window's average is not hostage to how many rare elephants it
+      happened to sample);
+    - post-recovery p99;
+    - goodput the fault window failed to deliver (bytes completed during
+      the window vs the fault-free baseline);
+    - time-to-recover: earliest post-settle instant from which the whole
+      remaining run averages within 10% of the fault-free baseline.
+
+    Each faulted run is paired with a fault-free baseline of the same
+    seeded scenario — byte-identical up to the first fault event — so
+    "recovered" means the tail of the run is within 10% of what the
+    scheme would have delivered with no fault at all.  That controls for
+    both workload-sampling noise and the secular backlog drift that makes
+    absolute pre-vs-post comparisons lie.  The disruption "settles" at
+    the restoration when every fault ends, or at the last fault event of
+    a permanent plan — so for a permanent failure, recovery means
+    adapting to the degraded fabric (which congestion-aware schemes can
+    do and ECMP cannot).
+
+    Schemes run as fully private scenarios fanned across a domain pool and
+    merged by index, so scorecards — and the FCT digests derived from them
+    — are identical at any domain count. *)
+
+type opts = {
+  plan : Faults.Fault_plan.t;  (** [[]] selects {!default_plan} *)
+  schemes : Scenario.scheme list;
+  load : float;
+  jobs_per_conn : int;
+  seed : int;
+  params : Scenario.params;
+  recovery : bool;
+      (** run with the Clove failure-recovery hardening; [false] is the
+          deliberate black-hole negative control *)
+}
+
+val default_opts : opts
+(** Clove-ECN vs ECMP at load 0.25, seed 1,
+    750 jobs/conn, 20 ms probe interval, recovery on. *)
+
+val default_plan_spec : string
+(** ["flap s2-l2b period=20ms duty=0.5 until=120ms @60ms"]. *)
+
+val default_plan : unit -> Faults.Fault_plan.t
+
+type row = {
+  r_scheme : Scenario.scheme;
+  r_pre_avg : float;
+  r_fault_avg : float;
+  r_post_avg : float;
+  r_post_base_avg : float;
+      (** the same post-restoration window in the fault-free baseline *)
+  r_post_p99 : float;
+  r_goodput_lost : float;
+  r_time_to_recover : float option;
+  r_recovered : bool;
+  r_fct : Workload.Fct_stats.t;
+      (** the faulted run's full FCT record, for determinism digests *)
+}
+
+val run_scheme : opts -> Scenario.scheme -> row
+(** One scheme: a faulted run plus its fault-free baseline (serial). *)
+
+val run : ?domains:int -> opts -> row array
+(** All schemes across the domain pool, results by scheme index; serial
+    while the invariant auditor is on. *)
+
+val scorecard : plan:Faults.Fault_plan.t -> row array -> Figures.report
+(** Format already-computed rows as a figure-style report. *)
+
+val report : ?domains:int -> ?opts:opts -> unit -> Figures.report
+(** {!run} + {!scorecard} (the ext-chaos extension). *)

@@ -343,4 +343,9 @@ let all =
     ("ext-dctcp", fun opts -> dctcp_guests ~opts ());
     ("ext-variants", fun opts -> variants ~opts ());
     ("ext-datamining", fun opts -> data_mining ~opts ());
+    ( "ext-chaos",
+      fun opts ->
+        Chaos.report
+          ~opts:{ Chaos.default_opts with jobs_per_conn = opts.Sweep.jobs_per_conn }
+          () );
   ]

@@ -8,7 +8,9 @@
     - {!dctcp_guests}: Clove-ECN with DCTCP guest stacks (Section 7);
     - {!variants}: Clove-Latency, adaptive flowlet gap, receiver
       reordering, non-overlay rewrite mode, and LetFlow side by side;
-    - {!data_mining}: the heavier-tailed data-mining workload. *)
+    - {!data_mining}: the heavier-tailed data-mining workload;
+    - [ext-chaos] (see {!Chaos}): a deterministic fault plan executed
+      against each scheme, scored for resilience. *)
 
 val fat_tree : ?opts:Sweep.run_opts -> unit -> Figures.report
 val failure_timeline : ?jobs:int -> ?seed:int -> unit -> Figures.report

@@ -52,6 +52,7 @@ type params = {
   clove_reorder : bool;
   adaptive_gap : bool;
   probe_interval : Sim_time.span option;
+  failure_recovery : bool;
   data_mining : bool;
   seed : int;
 }
@@ -76,6 +77,9 @@ let default_params =
     clove_reorder = false;
     adaptive_gap = false;
     probe_interval = None;
+    (* off in the paper-claim scenarios: the recovery machinery is opt-in
+       for chaos experiments, so baseline figures match the seed exactly *)
+    failure_recovery = false;
     data_mining = false;
     seed = 1;
   }
@@ -101,6 +105,7 @@ type t = {
 
 let sched t = t.sched
 let fabric t = t.fabric
+let leaf_spine t = t.ls
 let clients t = t.clients
 let servers t = t.servers
 let scheme t = t.scheme
@@ -186,6 +191,7 @@ let build ~scheme params =
         clove_reorder = params.clove_reorder;
         adaptive_flowlet_gap = params.adaptive_gap;
         expose_ecn_to_guest = params.guest_dctcp;
+        failure_recovery = params.failure_recovery;
       }
     in
     match params.probe_interval with

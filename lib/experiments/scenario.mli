@@ -43,6 +43,11 @@ type params = {
   clove_reorder : bool;  (** flowlet sequence numbers + receiver reordering *)
   adaptive_gap : bool;  (** adaptive flowlet gap (with Clove-Latency) *)
   probe_interval : Sim_time.span option;  (** traceroute refresh override *)
+  failure_recovery : bool;
+      (** enable the Clove failure-recovery hardening (sample staleness,
+          black-hole suspect decay, traceroute eviction, weight recovery);
+          off by default so paper-claim scenarios match the original
+          algorithm — chaos experiments turn it on *)
   data_mining : bool;  (** use the data-mining flow-size CDF instead *)
   seed : int;
 }
@@ -56,6 +61,11 @@ type t
 val build : scheme:scheme -> params -> t
 val sched : t -> Scheduler.t
 val fabric : t -> Fabric.t
+
+val leaf_spine : t -> Topology.leaf_spine
+(** The underlying 2-tier topology handle (switch/edge naming for fault
+    plans). *)
+
 val clients : t -> Host.t array
 val servers : t -> Host.t array
 val scheme : t -> scheme

@@ -1,0 +1,221 @@
+type naming = {
+  resolve_edge : string -> Topology.edge option;
+  resolve_switch : string -> int option;
+}
+
+let leaf_spine_naming (ls : Topology.leaf_spine) =
+  let resolve_switch name =
+    let n = String.length name in
+    if n < 2 then None
+    else
+      match (name.[0], int_of_string_opt (String.sub name 1 (n - 1))) with
+      | 'l', Some i when i >= 1 && i <= Array.length ls.Topology.leaf_ids ->
+        Some ls.Topology.leaf_ids.(i - 1)
+      | 's', Some i when i >= 1 && i <= Array.length ls.Topology.spine_ids ->
+        Some ls.Topology.spine_ids.(i - 1)
+      | _ -> None
+  in
+  let resolve_edge name =
+    match String.split_on_char '-' name with
+    | [ a; b ] -> (
+      (* a trailing letter on the second component selects the parallel
+         link of the bundle: "s2-l2b" = bundle index 1 *)
+      let b, bundle =
+        let n = String.length b in
+        if
+          n >= 2
+          && (match b.[n - 1] with 'a' .. 'z' -> true | _ -> false)
+          && (match b.[n - 2] with '0' .. '9' -> true | _ -> false)
+        then (String.sub b 0 (n - 1), Char.code b.[n - 1] - Char.code 'a')
+        else (b, 0)
+      in
+      match (resolve_switch a, resolve_switch b) with
+      | Some na, Some nb ->
+        Topology.find_edge ls.Topology.topo ~a:na ~b:nb ~bundle_index:bundle
+      | _ -> None)
+    | _ -> None
+  in
+  { resolve_edge; resolve_switch }
+
+type t = {
+  sched : Scheduler.t;
+  fabric : Fabric.t;
+  vswitches : Clove.Vswitch.t array;
+  naming : naming;
+  rng : Rng.t;
+  mutable fb_prob : float;
+  mutable probe_prob : float;
+  (* switch name -> edges this engine took down for it, so switch-up
+     restores exactly those and leaves independently failed edges alone *)
+  mutable switch_failed : (string * Topology.edge list) list;
+  mutable fired : int;
+  mutable flap_transitions : int;
+  mutable stopped : bool;
+}
+
+let create ~sched ~fabric ~vswitches ~naming ~rng =
+  {
+    sched;
+    fabric;
+    vswitches;
+    naming;
+    rng;
+    fb_prob = 0.0;
+    probe_prob = 0.0;
+    switch_failed = [];
+    fired = 0;
+    flap_transitions = 0;
+    stopped = false;
+  }
+
+let events_fired t = t.fired
+let flap_transitions t = t.flap_transitions
+let stop t = t.stopped <- true
+
+(* ----------------------------- actions ---------------------------- *)
+
+let edge_down t e =
+  if not e.Topology.failed then Fabric.fail_edge t.fabric e
+
+let edge_up t e = if e.Topology.failed then Fabric.restore_edge t.fabric e
+
+let push_loss_profiles t =
+  Array.iter
+    (fun v ->
+      Clove.Vswitch.set_fault_profile v ~feedback_loss:t.fb_prob
+        ~probe_loss:t.probe_prob)
+    t.vswitches
+
+let rec flap_cycle t e ~period ~duty ~stop_at =
+  let expired =
+    match stop_at with
+    | None -> false
+    | Some limit -> Sim_time.(Scheduler.now t.sched >= limit)
+  in
+  if t.stopped || expired then edge_up t e
+  else begin
+    edge_down t e;
+    t.flap_transitions <- t.flap_transitions + 1;
+    let down_for = Sim_time.mul_span period duty in
+    let up_for = Sim_time.mul_span period (1.0 -. duty) in
+    let (_ : Scheduler.handle) =
+      Scheduler.schedule t.sched ~after:down_for (fun () ->
+          edge_up t e;
+          t.flap_transitions <- t.flap_transitions + 1;
+          let (_ : Scheduler.handle) =
+            Scheduler.schedule t.sched ~after:up_for (fun () ->
+                flap_cycle t e ~period ~duty ~stop_at)
+          in
+          ())
+    in
+    ()
+  end
+
+let fire t (ev : Fault_plan.event) =
+  if not t.stopped then begin
+    t.fired <- t.fired + 1;
+    match ev.Fault_plan.spec with
+    | Fault_plan.Down name -> (
+      match t.naming.resolve_edge name with
+      | Some e -> edge_down t e
+      | None -> ())
+    | Fault_plan.Up name -> (
+      match t.naming.resolve_edge name with
+      | Some e -> edge_up t e
+      | None -> ())
+    | Fault_plan.Flap { edge; period; duty; stop } -> (
+      match t.naming.resolve_edge edge with
+      | None -> ()
+      | Some e ->
+        let stop_at = Option.map Sim_time.of_span stop in
+        flap_cycle t e ~period ~duty ~stop_at)
+    | Fault_plan.Brownout { edge; capacity_frac; loss_prob; until } -> (
+      match t.naming.resolve_edge edge with
+      | None -> ()
+      | Some e ->
+        Fabric.set_edge_brownout t.fabric e ~capacity_frac ~loss_prob
+          ~rng:(Rng.split_named t.rng ("edge:" ^ edge));
+        (match until with
+        | None -> ()
+        | Some stop ->
+          let (_ : Scheduler.handle) =
+            Scheduler.schedule_at t.sched ~time:(Sim_time.of_span stop)
+              (fun () -> Fabric.clear_edge_brownout t.fabric e)
+          in
+          ()))
+    | Fault_plan.Feedback_loss { prob; until } ->
+      t.fb_prob <- prob;
+      push_loss_profiles t;
+      (match until with
+      | None -> ()
+      | Some stop ->
+        let (_ : Scheduler.handle) =
+          Scheduler.schedule_at t.sched ~time:(Sim_time.of_span stop) (fun () ->
+              t.fb_prob <- 0.0;
+              push_loss_profiles t)
+        in
+        ())
+    | Fault_plan.Probe_loss { prob; until } ->
+      t.probe_prob <- prob;
+      push_loss_profiles t;
+      (match until with
+      | None -> ()
+      | Some stop ->
+        let (_ : Scheduler.handle) =
+          Scheduler.schedule_at t.sched ~time:(Sim_time.of_span stop) (fun () ->
+              t.probe_prob <- 0.0;
+              push_loss_profiles t)
+        in
+        ())
+    | Fault_plan.Switch_down name -> (
+      match t.naming.resolve_switch name with
+      | None -> ()
+      | Some node ->
+        let failed = Fabric.fail_switch t.fabric node in
+        t.switch_failed <- (name, failed) :: t.switch_failed)
+    | Fault_plan.Switch_up name -> (
+      match List.assoc_opt name t.switch_failed with
+      | None -> ()
+      | Some edges ->
+        t.switch_failed <- List.remove_assoc name t.switch_failed;
+        Fabric.restore_edges t.fabric edges)
+  end
+
+(* ------------------------------ arming ---------------------------- *)
+
+let validate t plan =
+  let missing_edge name =
+    match t.naming.resolve_edge name with
+    | Some _ -> None
+    | None -> Some (Printf.sprintf "unknown edge %S" name)
+  in
+  let missing_switch name =
+    match t.naming.resolve_switch name with
+    | Some _ -> None
+    | None -> Some (Printf.sprintf "unknown switch %S" name)
+  in
+  let problem (ev : Fault_plan.event) =
+    match ev.Fault_plan.spec with
+    | Fault_plan.Down n | Fault_plan.Up n
+    | Fault_plan.Flap { edge = n; _ }
+    | Fault_plan.Brownout { edge = n; _ } ->
+      missing_edge n
+    | Fault_plan.Switch_down n | Fault_plan.Switch_up n -> missing_switch n
+    | Fault_plan.Feedback_loss _ | Fault_plan.Probe_loss _ -> None
+  in
+  List.find_map problem plan
+
+let arm t plan =
+  match validate t plan with
+  | Some err -> Error err
+  | None ->
+    List.iter
+      (fun (ev : Fault_plan.event) ->
+        let (_ : Scheduler.handle) =
+          Scheduler.schedule_at t.sched
+            ~time:(Sim_time.of_span ev.Fault_plan.at)
+            (fun () -> fire t ev)
+        in
+        ())
+      plan;
+    Ok ()

@@ -1,0 +1,52 @@
+(** Deterministic execution of a {!Fault_plan} against a live fabric.
+
+    The engine resolves the plan's symbolic names through a pluggable
+    {!naming}, schedules one scheduler event per plan entry, and drives
+    the injection hooks: {!Fabric.fail_edge} / {!Fabric.restore_edge} /
+    {!Fabric.set_edge_brownout} / {!Fabric.fail_switch} on the fabric
+    side, {!Clove.Vswitch.set_fault_profile} on the virtual edge.
+
+    Every random choice (brownout wire loss, vswitch feedback/probe
+    drops) comes from named [Rng.split_named] substreams, so a plan
+    replayed with the same seed is byte-deterministic and stable under
+    schedule perturbation; fault-free runs draw nothing from these
+    streams at all. *)
+
+type naming = {
+  resolve_edge : string -> Topology.edge option;
+  resolve_switch : string -> int option;
+}
+
+val leaf_spine_naming : Topology.leaf_spine -> naming
+(** The paper testbed's naming: switches are ["l1"].. / ["s1"]..
+    (1-based leaves and spines), an edge is ["s2-l2"] with an optional
+    trailing bundle letter selecting the parallel link (["s2-l2b"] is
+    bundle index 1; no letter means bundle 0).  Either endpoint order
+    works. *)
+
+type t
+
+val create :
+  sched:Scheduler.t ->
+  fabric:Fabric.t ->
+  vswitches:Clove.Vswitch.t array ->
+  naming:naming ->
+  rng:Rng.t ->
+  t
+(** [rng] should be a dedicated substream (e.g.
+    [Rng.split_named experiment_rng "faults"]); the engine derives
+    per-edge brownout streams from it by name. *)
+
+val arm : t -> Fault_plan.t -> (unit, string) result
+(** Resolve every name in the plan (failing fast with a message naming
+    the first unknown edge/switch), then schedule all events at their
+    absolute times.  Call before running the scheduler. *)
+
+val stop : t -> unit
+(** Disarm: events that have not fired yet become no-ops, and any
+    running flap loop restores its edge at the next transition. *)
+
+val events_fired : t -> int
+
+val flap_transitions : t -> int
+(** Individual down/up edges executed by flap loops (not plan events). *)

@@ -1,0 +1,254 @@
+type spec =
+  | Down of string
+  | Up of string
+  | Flap of {
+      edge : string;
+      period : Sim_time.span;
+      duty : float;
+      stop : Sim_time.span option;
+    }
+  | Brownout of {
+      edge : string;
+      capacity_frac : float;
+      loss_prob : float;
+      until : Sim_time.span option;
+    }
+  | Feedback_loss of { prob : float; until : Sim_time.span option }
+  | Probe_loss of { prob : float; until : Sim_time.span option }
+  | Switch_down of string
+  | Switch_up of string
+
+type event = { at : Sim_time.span; spec : spec }
+type t = event list
+
+(* ------------------------------ durations ------------------------- *)
+
+let span_of_string s =
+  let len = String.length s in
+  let digits_end =
+    let i = ref 0 in
+    while
+      !i < len
+      && (match s.[!i] with '0' .. '9' | '.' | '-' -> true | _ -> false)
+    do
+      incr i
+    done;
+    !i
+  in
+  if digits_end = 0 then Error (Printf.sprintf "bad duration %S" s)
+  else
+    match float_of_string_opt (String.sub s 0 digits_end) with
+    | None -> Error (Printf.sprintf "bad duration %S" s)
+    | Some v when v < 0.0 -> Error (Printf.sprintf "negative duration %S" s)
+    | Some v -> (
+      (* conversions go through span_of_sec, the sanctioned time boundary *)
+      match String.sub s digits_end (len - digits_end) with
+      | "ns" -> Ok (Sim_time.span_of_sec (v *. 1e-9))
+      | "us" -> Ok (Sim_time.span_of_sec (v *. 1e-6))
+      | "ms" -> Ok (Sim_time.span_of_sec (v *. 1e-3))
+      | "s" | "" -> Ok (Sim_time.span_of_sec v)
+      | u -> Error (Printf.sprintf "unknown duration unit %S in %S" u s))
+
+let span_to_string sp =
+  let sec = Sim_time.span_to_sec sp in
+  let ns = sec *. 1e9 in
+  (* picking the unit that prints without a fraction: an exact-zero
+     remainder is the intent, not a tolerance check — lint: allow float-eq *)
+  if Float.rem ns 1e6 = 0.0 then Printf.sprintf "%gms" (sec *. 1e3)
+    (* same exact-multiple unit selection — lint: allow float-eq *)
+  else if Float.rem ns 1e3 = 0.0 then Printf.sprintf "%gus" (sec *. 1e6)
+  else Printf.sprintf "%gns" ns
+
+(* ------------------------------- parsing -------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let split_trim c s =
+  String.split_on_char c s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let float_param ~item kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Ok None
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "bad %s=%S in %S" key v item))
+
+let span_param ~item kvs key =
+  match List.assoc_opt key kvs with
+  | None -> Ok None
+  | Some v -> (
+    match span_of_string v with
+    | Ok sp -> Ok (Some sp)
+    | Error e -> Error (Printf.sprintf "%s (param %s of %S)" e key item))
+
+let require_target ~item = function
+  | Some tgt -> Ok tgt
+  | None -> Error (Printf.sprintf "missing target in %S" item)
+
+let check_prob ~item ~what p =
+  if p >= 0.0 && p < 1.0 then Ok p
+  else Error (Printf.sprintf "%s must be in [0, 1) in %S" what item)
+
+let parse_item item =
+  (* grammar: <verb> [target] [key=value ...] @<start-time> *)
+  match String.index_opt item '@' with
+  | None -> Error (Printf.sprintf "missing @time in %S" item)
+  | Some i ->
+    let left = String.sub item 0 i in
+    let at_str = String.trim (String.sub item (i + 1) (String.length item - i - 1)) in
+    let* at = span_of_string at_str in
+    let tokens = split_trim ' ' left in
+    let kvs, positional =
+      List.partition_map
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | Some j ->
+            Left
+              ( String.sub tok 0 j,
+                String.sub tok (j + 1) (String.length tok - j - 1) )
+          | None -> Right tok)
+        tokens
+    in
+    let* verb, target =
+      match positional with
+      | [ v ] -> Ok (v, None)
+      | [ v; tgt ] -> Ok (v, Some tgt)
+      | [] -> Error (Printf.sprintf "empty fault item %S" item)
+      | _ -> Error (Printf.sprintf "too many words in %S" item)
+    in
+    let* spec =
+      match verb with
+      | "down" ->
+        let* tgt = require_target ~item target in
+        Ok (Down tgt)
+      | "up" ->
+        let* tgt = require_target ~item target in
+        Ok (Up tgt)
+      | "flap" ->
+        let* tgt = require_target ~item target in
+        let* period = span_param ~item kvs "period" in
+        let* duty = float_param ~item kvs "duty" in
+        let* stop = span_param ~item kvs "until" in
+        let* period =
+          match period with
+          | Some p when Sim_time.compare_span p Sim_time.zero_span > 0 -> Ok p
+          | Some _ -> Error (Printf.sprintf "flap period must be > 0 in %S" item)
+          | None -> Error (Printf.sprintf "flap needs period=<dur> in %S" item)
+        in
+        let duty = Option.value ~default:0.5 duty in
+        if duty <= 0.0 || duty >= 1.0 then
+          Error (Printf.sprintf "flap duty must be in (0, 1) in %S" item)
+        else Ok (Flap { edge = tgt; period; duty; stop })
+      | "brownout" ->
+        let* tgt = require_target ~item target in
+        let* frac = float_param ~item kvs "frac" in
+        let* loss = float_param ~item kvs "loss" in
+        let* until = span_param ~item kvs "until" in
+        let frac = Option.value ~default:1.0 frac in
+        let loss = Option.value ~default:0.0 loss in
+        if frac <= 0.0 || frac > 1.0 then
+          Error (Printf.sprintf "brownout frac must be in (0, 1] in %S" item)
+        else
+          let* loss = check_prob ~item ~what:"brownout loss" loss in
+          Ok (Brownout { edge = tgt; capacity_frac = frac; loss_prob = loss; until })
+      | "feedback-loss" | "probe-loss" ->
+        (match target with
+        | Some t -> Error (Printf.sprintf "unexpected target %S in %S" t item)
+        | None ->
+          let* p = float_param ~item kvs "p" in
+          let* until = span_param ~item kvs "until" in
+          let* p =
+            match p with
+            | Some p -> check_prob ~item ~what:"p" p
+            | None -> Error (Printf.sprintf "%s needs p=<prob> in %S" verb item)
+          in
+          if verb = "feedback-loss" then Ok (Feedback_loss { prob = p; until })
+          else Ok (Probe_loss { prob = p; until }))
+      | "switch-down" ->
+        let* tgt = require_target ~item target in
+        Ok (Switch_down tgt)
+      | "switch-up" ->
+        let* tgt = require_target ~item target in
+        Ok (Switch_up tgt)
+      | v -> Error (Printf.sprintf "unknown fault verb %S in %S" v item)
+    in
+    Ok { at; spec }
+
+let parse s =
+  let items = split_trim ';' s in
+  if items = [] then Error "empty fault plan"
+  else
+    let rec go acc = function
+      | [] ->
+        Ok
+          (List.stable_sort
+             (fun a b -> Sim_time.compare_span a.at b.at)
+             (List.rev acc))
+      | item :: rest -> (
+        match parse_item item with
+        | Ok ev -> go (ev :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] items
+
+(* ----------------------------- printing --------------------------- *)
+
+let spec_to_string = function
+  | Down e -> Printf.sprintf "down %s" e
+  | Up e -> Printf.sprintf "up %s" e
+  | Flap { edge; period; duty; stop } ->
+    Printf.sprintf "flap %s period=%s duty=%g%s" edge (span_to_string period)
+      duty
+      (match stop with
+      | None -> ""
+      | Some s -> Printf.sprintf " until=%s" (span_to_string s))
+  | Brownout { edge; capacity_frac; loss_prob; until } ->
+    Printf.sprintf "brownout %s frac=%g loss=%g%s" edge capacity_frac loss_prob
+      (match until with
+      | None -> ""
+      | Some s -> Printf.sprintf " until=%s" (span_to_string s))
+  | Feedback_loss { prob; until } ->
+    Printf.sprintf "feedback-loss p=%g%s" prob
+      (match until with
+      | None -> ""
+      | Some s -> Printf.sprintf " until=%s" (span_to_string s))
+  | Probe_loss { prob; until } ->
+    Printf.sprintf "probe-loss p=%g%s" prob
+      (match until with
+      | None -> ""
+      | Some s -> Printf.sprintf " until=%s" (span_to_string s))
+  | Switch_down s -> Printf.sprintf "switch-down %s" s
+  | Switch_up s -> Printf.sprintf "switch-up %s" s
+
+let event_to_string ev =
+  Printf.sprintf "%s@%s" (spec_to_string ev.spec) (span_to_string ev.at)
+
+let to_string plan = String.concat "; " (List.map event_to_string plan)
+
+(* ------------------------- disruption window ---------------------- *)
+
+let disruption_window plan =
+  let fmin a b =
+    match a with Some a when Sim_time.compare_span a b <= 0 -> Some a | _ -> Some b
+  in
+  let fmax a b =
+    match a with Some a when Sim_time.compare_span a b >= 0 -> Some a | _ -> Some b
+  in
+  let start, stop =
+    List.fold_left
+      (fun (start, stop) ev ->
+        match ev.spec with
+        | Down _ | Switch_down _ -> (fmin start ev.at, stop)
+        | Flap { stop = s; _ } ->
+          ( fmin start ev.at,
+            match s with None -> stop | Some s -> fmax stop s )
+        | Brownout { until; _ } | Feedback_loss { until; _ } | Probe_loss { until; _ }
+          ->
+          ( fmin start ev.at,
+            match until with None -> stop | Some s -> fmax stop s )
+        | Up _ | Switch_up _ -> (start, fmax stop ev.at))
+      (None, None) plan
+  in
+  match start with None -> None | Some s -> Some (s, stop)

@@ -24,6 +24,8 @@ type t = {
   hosts : Host.t array;
   switches : Switch.t array;
   edge_links : (Link.t * Link.t) array;  (* indexed by edge id *)
+  mutable reconvergences : int;
+  mutable reconverge_hook : (unit -> unit) option;
 }
 
 let sched t = t.sched
@@ -128,6 +130,8 @@ let create ~sched ~config topo =
       hosts = Array.of_list (List.rev !hosts);
       switches = Array.of_list (List.rev !switches);
       edge_links;
+      reconvergences = 0;
+      reconverge_hook = None;
     }
   in
   t
@@ -153,19 +157,69 @@ let program_routes t =
         t.switches)
     t.hosts
 
+let set_reconverge_hook t f = t.reconverge_hook <- Some f
+let reconvergences t = t.reconvergences
+
+(* every topology change flows through here, modelling the underlay
+   routing protocol reconverging exactly once per fault event *)
+let reconverge t =
+  program_routes t;
+  t.reconvergences <- t.reconvergences + 1;
+  match t.reconverge_hook with Some f -> f () | None -> ()
+
 let fail_edge t e =
   Topology.fail_edge t.topo e;
   let l_ab, l_ba = links_of_edge t e in
   Link.set_up l_ab false;
   Link.set_up l_ba false;
-  program_routes t
+  reconverge t
 
 let restore_edge t e =
   Topology.restore_edge t.topo e;
   let l_ab, l_ba = links_of_edge t e in
   Link.set_up l_ab true;
   Link.set_up l_ba true;
-  program_routes t
+  reconverge t
+
+let set_edge_brownout t e ~capacity_frac ~loss_prob ~rng =
+  let l_ab, l_ba = links_of_edge t e in
+  (* one substream per direction, keyed on the link label so the loss
+     pattern is stable regardless of how many edges are browned out *)
+  Link.set_brownout l_ab ~capacity_frac ~loss_prob
+    ~rng:(Rng.split_named rng ("brownout:" ^ Link.label l_ab));
+  Link.set_brownout l_ba ~capacity_frac ~loss_prob
+    ~rng:(Rng.split_named rng ("brownout:" ^ Link.label l_ba))
+
+let clear_edge_brownout t e =
+  let l_ab, l_ba = links_of_edge t e in
+  Link.clear_brownout l_ab;
+  Link.clear_brownout l_ba
+
+let live_incident_edges t node =
+  List.filter (fun (e : Topology.edge) -> not e.Topology.failed)
+    (Topology.edges_of t.topo node)
+
+let fail_switch t node =
+  let failed = live_incident_edges t node in
+  List.iter
+    (fun (e : Topology.edge) ->
+      Topology.fail_edge t.topo e;
+      let l_ab, l_ba = links_of_edge t e in
+      Link.set_up l_ab false;
+      Link.set_up l_ba false)
+    failed;
+  reconverge t;
+  failed
+
+let restore_edges t edges =
+  List.iter
+    (fun (e : Topology.edge) ->
+      Topology.restore_edge t.topo e;
+      let l_ab, l_ba = links_of_edge t e in
+      Link.set_up l_ab true;
+      Link.set_up l_ba true)
+    edges;
+  reconverge t
 
 let fold_queues t f init =
   Array.fold_left

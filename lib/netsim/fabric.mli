@@ -44,6 +44,30 @@ val fail_edge : t -> Topology.edge -> unit
 
 val restore_edge : t -> Topology.edge -> unit
 
+val set_edge_brownout :
+  t -> Topology.edge -> capacity_frac:float -> loss_prob:float -> rng:Rng.t -> unit
+(** Degrade both directions of [edge] (see {!Link.set_brownout}); each
+    direction gets its own [Rng.split_named] substream keyed on the link
+    label, so loss patterns are stable across unrelated plan changes.
+    Routing is untouched: a brownout is invisible to the underlay. *)
+
+val clear_edge_brownout : t -> Topology.edge -> unit
+
+val fail_switch : t -> int -> Topology.edge list
+(** Fail every live edge incident to the switch node, reconverging once;
+    returns the edges actually taken down so the caller can restore
+    exactly those (edges already failed by other faults are skipped). *)
+
+val restore_edges : t -> Topology.edge list -> unit
+(** Restore the given edges, reconverging once. *)
+
+val reconvergences : t -> int
+(** Number of fault-driven route recomputations so far. *)
+
+val set_reconverge_hook : t -> (unit -> unit) -> unit
+(** Called after every fault-driven reconvergence — lets the virtual edge
+    (or a test) observe underlay routing churn. *)
+
 val total_drops : t -> int
 (** Sum of queue drops across all links. *)
 

@@ -1,3 +1,8 @@
+(* degraded-link state installed by the fault layer: the serializer runs
+   at a fraction of the nominal rate and packets are dropped on the wire
+   with a seeded probability *)
+type brownout = { capacity_frac : float; loss_prob : float; rng : Rng.t }
+
 type t = {
   sched : Scheduler.t;
   rate_bps : float;
@@ -8,9 +13,11 @@ type t = {
   mutable sink : (Packet.t -> unit) option;
   mutable busy : bool;
   mutable is_up : bool;
+  mutable brownout : brownout option;
   mutable tx_bytes : int;
   mutable tx_packets : int;
   mutable down_drops : int;
+  mutable brownout_drops : int;
 }
 
 let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
@@ -26,9 +33,11 @@ let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
     sink = None;
     busy = false;
     is_up = true;
+    brownout = None;
     tx_bytes = 0;
     tx_packets = 0;
     down_drops = 0;
+    brownout_drops = 0;
   }
 
 let set_sink t f = t.sink <- Some f
@@ -40,6 +49,19 @@ let deliver t pkt =
 
 let audit_drop reason = if !Analysis.Audit.on then Analysis.Audit.note_dropped ~reason
 
+let effective_rate t =
+  match t.brownout with
+  | None -> t.rate_bps
+  | Some b -> t.rate_bps *. b.capacity_frac
+
+(* a brownout corrupts the packet on the wire with the configured
+   probability; the stream is only consumed while a brownout is installed,
+   so fault-free runs draw nothing *)
+let brownout_lost t =
+  match t.brownout with
+  | None -> false
+  | Some b -> b.loss_prob > 0.0 && Rng.float b.rng 1.0 < b.loss_prob
+
 let rec start_tx t =
   match Pkt_queue.dequeue t.queue with
   | None -> t.busy <- false
@@ -48,18 +70,29 @@ let rec start_tx t =
     Dre.observe t.dre ~bytes_len:pkt.Packet.size;
     t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
     t.tx_packets <- t.tx_packets + 1;
-    let tx = Sim_time.tx_time ~bytes_len:pkt.Packet.size ~rate_bps:t.rate_bps in
+    let tx = Sim_time.tx_time ~bytes_len:pkt.Packet.size ~rate_bps:(effective_rate t) in
     let (_ : Scheduler.handle) =
       Scheduler.schedule t.sched ~after:tx (fun () ->
           (* propagation: packet reaches the far end after prop_delay; the
              serializer is free to start the next packet immediately *)
-          (if t.is_up then
+          (if not t.is_up then begin
+             t.down_drops <- t.down_drops + 1;
+             audit_drop "link-down"
+           end
+           else if brownout_lost t then begin
+             t.brownout_drops <- t.brownout_drops + 1;
+             audit_drop "brownout"
+           end
+           else
              let (_ : Scheduler.handle) =
                Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
-                   if t.is_up then deliver t pkt else audit_drop "link-down")
+                   if t.is_up then deliver t pkt
+                   else begin
+                     t.down_drops <- t.down_drops + 1;
+                     audit_drop "link-down"
+                   end)
              in
-             ()
-           else audit_drop "link-down");
+             ());
           start_tx t)
     in
     ()
@@ -81,17 +114,31 @@ let up t = t.is_up
 let set_up t v =
   t.is_up <- v;
   if not v then begin
-    (* drain the queue: a failed link loses its in-flight packets *)
+    (* drain the queue: a failed link loses its in-flight packets, and the
+       loss is accounted in both the link and queue statistics so
+       packet-conservation audits balance under mid-run failures *)
     let rec drain () =
       match Pkt_queue.dequeue t.queue with
       | None -> ()
-      | Some _ ->
+      | Some pkt ->
+        t.down_drops <- t.down_drops + 1;
+        Pkt_queue.count_drop t.queue pkt;
         audit_drop "link-down";
         drain ()
     in
     drain ();
     t.busy <- false
   end
+
+let set_brownout t ~capacity_frac ~loss_prob ~rng =
+  if capacity_frac <= 0.0 || capacity_frac > 1.0 then
+    invalid_arg "Link.set_brownout: capacity_frac must be in (0, 1]";
+  if loss_prob < 0.0 || loss_prob >= 1.0 then
+    invalid_arg "Link.set_brownout: loss_prob must be in [0, 1)";
+  t.brownout <- Some { capacity_frac; loss_prob; rng }
+
+let clear_brownout t = t.brownout <- None
+let browned_out t = t.brownout <> None
 
 let utilization t = Dre.utilization t.dre
 let queue t = t.queue
@@ -101,3 +148,4 @@ let label t = t.label
 let tx_bytes t = t.tx_bytes
 let tx_packets t = t.tx_packets
 let down_drops t = t.down_drops
+let brownout_drops t = t.brownout_drops

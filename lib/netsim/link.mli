@@ -28,7 +28,21 @@ val send : t -> Packet.t -> unit
 val up : t -> bool
 val set_up : t -> bool -> unit
 (** Taking a link down drops all queued and future packets until it is
-    brought back up — models a link failure. *)
+    brought back up — models a link failure.  Packets already queued are
+    flushed and counted in both [down_drops] and the queue's drop
+    statistics. *)
+
+val set_brownout :
+  t -> capacity_frac:float -> loss_prob:float -> rng:Rng.t -> unit
+(** Degrade the link without failing it: the serializer runs at
+    [capacity_frac] of the nominal rate and each serialized packet is lost
+    on the wire with probability [loss_prob], drawn from [rng] (pass a
+    dedicated [Rng.split_named] substream so fault randomness never shifts
+    workload streams).  [capacity_frac] must be in (0, 1] and [loss_prob]
+    in [0, 1). *)
+
+val clear_brownout : t -> unit
+val browned_out : t -> bool
 
 val utilization : t -> float
 (** DRE-estimated utilization of this link's egress. *)
@@ -41,4 +55,8 @@ val tx_bytes : t -> int
 val tx_packets : t -> int
 
 val down_drops : t -> int
-(** Packets offered to the link while it was down. *)
+(** Packets lost to the link being down: offered while down, flushed from
+    the queue when it failed, or in serialization/flight at failure time. *)
+
+val brownout_drops : t -> int
+(** Packets lost to brownout wire corruption. *)

@@ -121,6 +121,11 @@ let tcp_flow_key inner =
   Hashtbl.hash
     (Addr.to_int inner.src, Addr.to_int inner.dst, s.src_port, s.dst_port, s.subflow)
 
+let tcp_flow_key_rev inner =
+  let s = inner.seg in
+  Hashtbl.hash
+    (Addr.to_int inner.dst, Addr.to_int inner.src, s.dst_port, s.src_port, s.subflow)
+
 let outer_tuple t =
   match t.encap with
   | None -> None

@@ -142,6 +142,11 @@ val make_tenant :
 val tcp_flow_key : inner -> int
 (** Deterministic hash of the inner 5-tuple (src, dst, ports, subflow). *)
 
+val tcp_flow_key_rev : inner -> int
+(** Key of the {e reverse} flow: what [tcp_flow_key] returns for traffic
+    going the other way.  Lets a receiver of an ACK credit the forward
+    flow that elicited it (black-hole liveness tracking). *)
+
 val outer_tuple : t -> (int * int * int * int) option
 (** (src_hv, dst_hv, src_port, dst_port) of the encapsulation header. *)
 

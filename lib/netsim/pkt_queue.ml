@@ -77,6 +77,10 @@ let dequeue t =
     t.bytes <- t.bytes - pkt.Packet.size;
     Some pkt
 
+let count_drop t pkt =
+  t.dropped <- t.dropped + 1;
+  t.dropped_bytes <- t.dropped_bytes + pkt.Packet.size
+
 let stats t =
   {
     enqueued = t.enqueued;

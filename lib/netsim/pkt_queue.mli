@@ -25,6 +25,12 @@ val enqueue : t -> Packet.t -> bool
 (** [false] if the packet was dropped (queue full). Marks CE as needed. *)
 
 val dequeue : t -> Packet.t option
+
+val count_drop : t -> Packet.t -> unit
+(** Account a packet lost outside the drop-tail path — e.g. flushed from
+    the queue when its link fails — so [dropped]/[dropped_bytes] cover
+    every loss at this egress and packet-conservation audits balance. *)
+
 val length : t -> int
 val byte_length : t -> int
 val is_empty : t -> bool

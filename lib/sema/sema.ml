@@ -11,6 +11,10 @@ let rules =
     ( "sema-adhoc-seed",
       "Rng.create with an integer literal: constant seeds decouple a \
        component from the experiment seed" );
+    ( "sema-fault-rng",
+      "Rng.create inside lib/faults/: fault randomness must be a \
+       Rng.split_named substream of the scenario stream so arming a plan \
+       never perturbs the fault-free schedule" );
     ( "sema-wildcard-variant",
       "wildcard case in a match over protocol variants: new packet kinds \
        must fail to compile at every dispatch site" );
@@ -268,15 +272,24 @@ let collect_findings ~file (str : Parsetree.structure) =
           | None -> ())
         | None -> ())
       | _ -> ());
-      (* D2c: constant seeds *)
+      (* D2c: constant seeds; R1: fresh streams in the fault subsystem *)
       (match last_two (lid_parts txt) with
-      | Some ("Rng", "create") -> (
-        match args with
-        | (_, { pexp_desc = Pexp_constant (Pconst_integer _); _ }) :: _ ->
-          add ~line:(line_of ex.pexp_loc) ~rule:"sema-adhoc-seed"
-            "Rng.create with a literal seed: derive from the experiment seed \
-             (Rng.split_named) or take a seed parameter"
-        | _ -> ())
+      | Some ("Rng", "create") ->
+        (* R1 first: inside lib/faults/ ANY Rng.create is wrong, literal
+           seed or not — the engine must draw from a split_named substream
+           of the scenario stream (substreams derive without advancing the
+           parent, which is what keeps the fault-free control byte-identical) *)
+        if has_prefix_in [ "lib/faults/" ] file then
+          add ~line:(line_of ex.pexp_loc) ~rule:"sema-fault-rng"
+            "Rng.create in the fault subsystem: take a ~rng built with \
+             Rng.split_named from the scenario stream instead"
+        else (
+          match args with
+          | (_, { pexp_desc = Pexp_constant (Pconst_integer _); _ }) :: _ ->
+            add ~line:(line_of ex.pexp_loc) ~rule:"sema-adhoc-seed"
+              "Rng.create with a literal seed: derive from the experiment seed \
+               (Rng.split_named) or take a seed parameter"
+          | _ -> ())
       | _ -> ());
       (* U2: mixed-unit arithmetic *)
       match ex.pexp_desc with

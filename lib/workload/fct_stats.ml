@@ -29,6 +29,28 @@ let cdf ?min_size ?max_size t =
 let merge a b =
   { records = a.records @ b.records; n = a.n + b.n }
 
+let filter_size ?(min_size = 0) ?(max_size = max_int) t =
+  let records =
+    List.filter (fun r -> r.size >= min_size && r.size < max_size) t.records
+  in
+  { records; n = List.length records }
+
+let window ~from ~until t =
+  let records =
+    List.filter (fun r -> r.start_sec >= from && r.start_sec < until) t.records
+  in
+  { records; n = List.length records }
+
+let total_bytes t =
+  List.fold_left (fun acc r -> acc + r.size) 0 t.records
+
+let completed_bytes_in ~from ~until t =
+  List.fold_left
+    (fun acc r ->
+      let fin = r.start_sec +. r.fct_sec in
+      if fin >= from && fin < until then acc + r.size else acc)
+    0 t.records
+
 let timeline t ~bucket_sec =
   if bucket_sec <= 0.0 then invalid_arg "Fct_stats.timeline: bucket must be positive";
   let buckets = Hashtbl.create 16 in

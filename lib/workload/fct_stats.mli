@@ -22,6 +22,22 @@ val percentile : ?min_size:int -> ?max_size:int -> t -> float -> float
 val cdf : ?min_size:int -> ?max_size:int -> t -> Stats.Cdf.t
 val merge : t -> t -> t
 
+val filter_size : ?min_size:int -> ?max_size:int -> t -> t
+(** Records of flows with [min_size <= size < max_size] as a new [t] —
+    lets {!window} and {!timeline} run on the mice-only slice whose FCT
+    tracks congestion without elephant-sampling noise. *)
+
+val window : from:float -> until:float -> t -> t
+(** Records of flows {e arriving} in [\[from, until)] seconds — the
+    chaos scorecard's pre-fault / fault-window / post-recovery slices. *)
+
+val total_bytes : t -> int
+(** Sum of recorded flow sizes (goodput accounting). *)
+
+val completed_bytes_in : from:float -> until:float -> t -> int
+(** Bytes of flows {e completing} within [\[from, until)] seconds — the
+    delivered-goodput side of the chaos scorecard. *)
+
 val timeline : t -> bucket_sec:float -> (float * Stats.Summary.t) list
 (** FCT summaries bucketed by job *arrival* time — used to watch a scheme
     adapt to a mid-run link failure.  Returns (bucket start, summary) in

@@ -58,6 +58,21 @@ let test_adhoc_seed () =
   none "let rng = Rng.create seed\n";
   none "let rng = Rng.split_named parent \"letflow\"\n"
 
+let test_fault_rng () =
+  (* inside lib/faults/ any Rng.create is wrong, even a non-literal seed *)
+  let in_faults = analyze ~file:"lib/faults/fault_engine.ml" in
+  check_int "sema-fault-rng literal" 1
+    (count_rule "sema-fault-rng" (in_faults "let rng = Rng.create 42\n"));
+  check_int "sema-fault-rng variable" 1
+    (count_rule "sema-fault-rng" (in_faults "let rng = Rng.create seed\n"));
+  check_int "fault split_named clean" 0
+    (List.length (in_faults "let rng = Rng.split_named parent \"flap\"\n"));
+  (* the literal-seed case reports as fault-rng there, not adhoc-seed *)
+  check_int "no double report" 0
+    (count_rule "sema-adhoc-seed" (in_faults "let rng = Rng.create 42\n"));
+  (* outside lib/faults/ a non-literal seed stays clean *)
+  none "let rng = Rng.create seed\n"
+
 let test_wildcard_variant () =
   one "sema-wildcard-variant"
     "let f p = match p with Packet.Probe _ -> true | _ -> false\n";
@@ -333,6 +348,7 @@ let () =
           Alcotest.test_case "raw-random" `Quick test_raw_random;
           Alcotest.test_case "wall-clock" `Quick test_wall_clock;
           Alcotest.test_case "adhoc-seed" `Quick test_adhoc_seed;
+          Alcotest.test_case "fault-rng" `Quick test_fault_rng;
           Alcotest.test_case "wildcard-variant" `Quick test_wildcard_variant;
           Alcotest.test_case "time-boundary" `Quick test_time_boundary;
           Alcotest.test_case "unit-mix" `Quick test_unit_mix;
