@@ -79,7 +79,7 @@ let microbenches () =
   (* microbenchmark input stream, not an experiment — lint: allow sema-adhoc-seed *)
   let rng = Rng.create 1 in
 
-  let flowlet_table = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 40) in
+  let flowlet_table = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 40) ~dummy:0 in
   let bench_flowlet =
     Test.make ~name:"flowlet-table touch"
       (Staged.stage (fun () ->
@@ -258,6 +258,12 @@ let scenario_benchmarks () =
       let minor_words = Gc.minor_words () -. minor0 in
       let events = Scheduler.events_fired sched in
       let sim_sec = Sim_time.to_sec (Scheduler.now sched) in
+      let flows_tracked =
+        Array.fold_left
+          (fun acc host -> acc + Clove.Vswitch.flows_tracked (Scenario.vswitch scn host))
+          0
+          (Array.append (Scenario.clients scn) (Scenario.servers scn))
+      in
       Scenario.quiesce scn;
       let eps = if wall > 0.0 then float_of_int events /. wall else nan in
       let record =
@@ -278,6 +284,7 @@ let scenario_benchmarks () =
             ("minor_words", Float minor_words);
             ("speedup_vs_serial", Float 1.0);
             ("flows", Int (Workload.Fct_stats.count fct));
+            ("flows_tracked", Int flows_tracked);
             ("fct_avg_sec", Float (Workload.Fct_stats.avg fct));
             ("fct_p50_sec", Float (Workload.Fct_stats.percentile fct 50.0));
             ("fct_p95_sec", Float (Workload.Fct_stats.percentile fct 95.0));
@@ -474,6 +481,167 @@ let chaos_benchmark () =
     exit 1
   end
 
+(* ------------- part 6: hot-path A/B benchmark ---------------------- *)
+
+type hotpath_run = {
+  hp_wall : float;
+  hp_minor_words : float;
+  hp_events : int;
+  hp_wheel_scheduled : int;
+  hp_heap_scheduled : int;
+  hp_compactions : int;
+  hp_flows_tracked : int;
+  hp_dump : string;  (* canonical FCT records, for the A/B cross-check *)
+}
+
+(* Same-host, same-process A/B of the scheduler hot path: the flagship
+   websearch scenario (failure recovery on, so the maintain tick and idle
+   flowlet eviction run) once on the seed's closure-per-event binary-heap
+   path and once on the timer wheel + defunctionalized events + flat
+   tables.  The two runs must produce byte-identical FCT records — the
+   optimization's contract is that it is observationally invisible — and
+   the GC/throughput numbers for both land in results/BENCH_hotpath.json
+   so CI tracks the delta measured under identical conditions. *)
+let hotpath_benchmark () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let jobs =
+    match Sys.getenv_opt "CLOVE_BENCH_QUICK" with Some _ -> 20 | None -> 60
+  in
+  let load = 0.6 in
+  let seed = 1 in
+  let run_config ~defunc ~wheel =
+    Scheduler.defunctionalized := defunc;
+    (* must be set before [Scenario.build]: captured at scheduler creation *)
+    Scheduler.wheel_enabled := wheel;
+    let params =
+      {
+        Scenario.default_params with
+        Scenario.asymmetric = true;
+        failure_recovery = true;
+        seed;
+      }
+    in
+    let scn = Scenario.build ~scheme:Scenario.S_clove_ecn params in
+    let servers = Scenario.servers scn in
+    let conns =
+      Array.mapi
+        (fun i client ->
+          Scenario.connect scn ~src:client ~dst:servers.(i mod Array.length servers))
+        (Scenario.clients scn)
+    in
+    let cfg =
+      {
+        Workload.Websearch.load;
+        bisection_bps = Scenario.bisection_bps scn;
+        jobs_per_conn = jobs;
+        size_dist = Scenario.size_dist scn;
+        start_at = Scenario.warmup scn;
+      }
+    in
+    let sched = Scenario.sched scn in
+    let minor0 = Gc.minor_words () in
+    (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
+    let t0 = Unix.gettimeofday () in
+    let fct = Workload.Websearch.run ~sched ~rng:(Scenario.rng scn) ~conns cfg in
+    (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
+    let wall = Unix.gettimeofday () -. t0 in
+    let minor_words = Gc.minor_words () -. minor0 in
+    let flows_tracked =
+      Array.fold_left
+        (fun acc host -> acc + Clove.Vswitch.flows_tracked (Scenario.vswitch scn host))
+        0
+        (Array.append (Scenario.clients scn) servers)
+    in
+    let r =
+      {
+        hp_wall = wall;
+        hp_minor_words = minor_words;
+        hp_events = Scheduler.events_fired sched;
+        hp_wheel_scheduled = Scheduler.wheel_scheduled sched;
+        hp_heap_scheduled = Scheduler.heap_scheduled sched;
+        hp_compactions = Scheduler.compactions sched;
+        hp_flows_tracked = flows_tracked;
+        hp_dump = Workload.Fct_stats.canonical_dump fct;
+      }
+    in
+    Scenario.quiesce scn;
+    Scheduler.defunctionalized := true;
+    Scheduler.wheel_enabled := true;
+    r
+  in
+  let config_json r =
+    let events = float_of_int r.hp_events in
+    let scheduled = r.hp_wheel_scheduled + r.hp_heap_scheduled in
+    Analysis.Json_out.Obj
+      [
+        ("wall_time_sec", Float r.hp_wall);
+        ("events_fired", Int r.hp_events);
+        ( "events_per_sec",
+          Float (if r.hp_wall > 0.0 then events /. r.hp_wall else nan) );
+        ("minor_words", Float r.hp_minor_words);
+        ( "minor_words_per_event",
+          Float (if r.hp_events > 0 then r.hp_minor_words /. events else nan) );
+        ("wheel_scheduled", Int r.hp_wheel_scheduled);
+        ("heap_scheduled", Int r.hp_heap_scheduled);
+        ( "wheel_fraction",
+          Float
+            (if scheduled > 0 then
+               float_of_int r.hp_wheel_scheduled /. float_of_int scheduled
+             else 0.0) );
+        ("compactions", Int r.hp_compactions);
+        ("flows_tracked", Int r.hp_flows_tracked);
+      ]
+  in
+  Format.printf "== hot-path A/B (websearch/clove-ecn, load %.1f, %d jobs/conn) ==@."
+    load jobs;
+  let base = run_config ~defunc:false ~wheel:false in
+  let opt = run_config ~defunc:true ~wheel:true in
+  let identical = String.equal base.hp_dump opt.hp_dump in
+  let per_event r =
+    if r.hp_events > 0 then r.hp_minor_words /. float_of_int r.hp_events else nan
+  in
+  let eps r =
+    if r.hp_wall > 0.0 then float_of_int r.hp_events /. r.hp_wall else nan
+  in
+  let record =
+    Analysis.Json_out.Obj
+      [
+        ("scenario", String "hotpath-ab");
+        ("scheme", String "clove-ecn");
+        ("load", Float load);
+        ("jobs_per_conn", Int jobs);
+        ("seed", Int seed);
+        ("failure_recovery", Bool true);
+        ("baseline", config_json base);
+        ("optimized", config_json opt);
+        ( "minor_words_per_event_ratio",
+          Float (per_event opt /. per_event base) );
+        ("deterministic", Bool identical);
+      ]
+  in
+  let path = Filename.concat "results" "BENCH_hotpath.json" in
+  Analysis.Json_out.to_file path record;
+  Format.printf
+    "  baseline  (heap+closures)  %8.2fs wall  %9.0f events/s  %6.1f minor \
+     words/event@."
+    base.hp_wall (eps base) (per_event base);
+  Format.printf
+    "  optimized (wheel+tags)     %8.2fs wall  %9.0f events/s  %6.1f minor \
+     words/event@."
+    opt.hp_wall (eps opt) (per_event opt);
+  Format.printf
+    "  wheel share %.2f  compactions %d  flows tracked %d  identical %b  -> \
+     %s@.@."
+    (let s = opt.hp_wheel_scheduled + opt.hp_heap_scheduled in
+     if s > 0 then float_of_int opt.hp_wheel_scheduled /. float_of_int s
+     else 0.0)
+    opt.hp_compactions opt.hp_flows_tracked identical path;
+  if not identical then begin
+    Format.eprintf
+      "hot-path benchmark: optimized run diverged from closure baseline@.";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* consume `--domains N` (overrides CLOVE_DOMAINS) before anything else *)
@@ -489,13 +657,14 @@ let () =
     | [] -> []
   in
   let args = strip_domains args in
-  let flags = [ "--micro-only"; "--scenarios-only"; "--figures-only" ] in
+  let flags = [ "--micro-only"; "--scenarios-only"; "--figures-only"; "--hotpath" ] in
   let figure_ids = List.filter (fun a -> not (List.mem a flags)) args in
   Format.printf "Clove reproduction benchmark harness@.";
   Format.printf
     "(CLOVE_BENCH_QUICK=1 for smoke, CLOVE_BENCH_FULL=1 for high fidelity; \
      CLOVE_DOMAINS / --domains N set the sweep pool width)@.@.";
-  if List.mem "--scenarios-only" args then begin
+  if List.mem "--hotpath" args then hotpath_benchmark ()
+  else if List.mem "--scenarios-only" args then begin
     scenario_benchmarks ();
     parallel_sweep_benchmark ();
     chaos_benchmark ()

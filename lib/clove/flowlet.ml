@@ -3,21 +3,25 @@ type 'd entry = { mutable last_seen : Sim_time.t; mutable flowlet_id : int; muta
 type 'd t = {
   sched : Scheduler.t;
   mutable gap : Sim_time.span;
-  table : (int, 'd entry) Hashtbl.t;
+  table : 'd entry Int_table.t;
+  absent : 'd entry; (* the table's dummy; compared physically in [touch] *)
   mutable started : int;
 }
 
-let create ~sched ~gap = { sched; gap; table = Hashtbl.create 256; started = 0 }
+let create ~sched ~gap ~dummy =
+  let absent = { last_seen = Sim_time.zero; flowlet_id = -1; decision = dummy } in
+  { sched; gap; table = Int_table.create ~capacity:256 ~dummy:absent (); absent; started = 0 }
 
 let touch t ~key ~pick =
   let now = Scheduler.now t.sched in
-  match Hashtbl.find_opt t.table key with
-  | None ->
+  let e = Int_table.find_default t.table key t.absent in
+  if e == t.absent then begin
     let decision = pick ~flowlet_id:0 in
-    Hashtbl.replace t.table key { last_seen = now; flowlet_id = 0; decision };
+    Int_table.set t.table key { last_seen = now; flowlet_id = 0; decision };
     t.started <- t.started + 1;
     decision
-  | Some e ->
+  end
+  else begin
     if Sim_time.(now >= add e.last_seen t.gap) then begin
       e.flowlet_id <- e.flowlet_id + 1;
       e.decision <- pick ~flowlet_id:e.flowlet_id;
@@ -25,22 +29,22 @@ let touch t ~key ~pick =
     end;
     e.last_seen <- now;
     e.decision
+  end
 
 let active_flowlet t ~key =
-  match Hashtbl.find_opt t.table key with
-  | Some e -> Some e.decision
-  | None -> None
+  let e = Int_table.find_default t.table key t.absent in
+  if e == t.absent then None else Some e.decision
 
 let flowlets_started t = t.started
-let flows_tracked t = Hashtbl.length t.table
+let flows_tracked t = Int_table.length t.table
 let set_gap t gap = t.gap <- gap
 let gap t = t.gap
 
 let expire_older_than t age =
   let now = Scheduler.now t.sched in
   let stale =
-    Hashtbl.fold
+    Int_table.fold
       (fun key e acc -> if Sim_time.(now >= add e.last_seen age) then key :: acc else acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) stale
+  List.iter (Int_table.remove t.table) stale

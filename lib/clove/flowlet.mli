@@ -8,7 +8,10 @@
 
 type 'decision t
 
-val create : sched:Scheduler.t -> gap:Sim_time.span -> 'decision t
+val create :
+  sched:Scheduler.t -> gap:Sim_time.span -> dummy:'decision -> 'decision t
+(** [dummy] pads the flat table's empty slots ({!Int_table} convention);
+    any value of the decision type works and is never returned. *)
 
 val touch : 'd t -> key:int -> pick:(flowlet_id:int -> 'd) -> 'd
 (** Returns the current flowlet's decision, invoking [pick] exactly when a

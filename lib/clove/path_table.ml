@@ -14,7 +14,7 @@ type t = {
   mutable last_tx : Sim_time.t array; (* last tenant packet sent via port *)
   mutable last_alive : Sim_time.t array; (* last proof the path still works *)
   mutable verified_at : Sim_time.t; (* last traceroute (re)install *)
-  mutable port_index : (int, int) Hashtbl.t;
+  mutable port_index : int Int_table.t; (* port -> array index *)
 }
 
 let create ~sched ~cfg =
@@ -33,7 +33,7 @@ let create ~sched ~cfg =
     last_tx = [||];
     last_alive = [||];
     verified_at = Sim_time.zero;
-    port_index = Hashtbl.create 8;
+    port_index = Int_table.create ~capacity:8 ~dummy:(-1) ();
   }
 
 let clear t =
@@ -48,7 +48,7 @@ let clear t =
   t.ever_congested <- [||];
   t.last_tx <- [||];
   t.last_alive <- [||];
-  Hashtbl.reset t.port_index
+  Int_table.clear t.port_index
 
 let install t pairs =
   if pairs = [] then clear t
@@ -112,8 +112,8 @@ let install t pairs =
     (* an install only happens when probes completed the round trip, so it
        vouches for every path in the new set *)
     t.verified_at <- Scheduler.now t.sched;
-    let idx = Hashtbl.create n in
-    Array.iteri (fun i p -> Hashtbl.replace idx p i) ports;
+    let idx = Int_table.create ~capacity:n ~dummy:(-1) () in
+    Array.iteri (fun i p -> Int_table.set idx p i) ports;
     t.port_index <- idx
   end
 
@@ -144,14 +144,12 @@ let suspects t = Array.init (Array.length t.ports) (fun i -> is_suspect t i)
 
 let note_tx t ~port =
   if t.cfg.Clove_config.failure_recovery then
-    match Hashtbl.find_opt t.port_index port with
-    | None -> ()
-    | Some i -> t.last_tx.(i) <- Scheduler.now t.sched
+    let i = Int_table.find_default t.port_index port (-1) in
+    if i >= 0 then t.last_tx.(i) <- Scheduler.now t.sched
 
 let note_alive t ~port =
-  match Hashtbl.find_opt t.port_index port with
-  | None -> ()
-  | Some i -> t.last_alive.(i) <- Scheduler.now t.sched
+  let i = Int_table.find_default t.port_index port (-1) in
+  if i >= 0 then t.last_alive.(i) <- Scheduler.now t.sched
 
 let pick_wrr t =
   require_ready t "Path_table.pick_wrr";
@@ -206,7 +204,7 @@ let is_congested t i =
   && Sim_time.(now < add t.last_congested.(i) t.cfg.Clove_config.congested_window)
 
 let note_congested t ~port =
-  match Hashtbl.find_opt t.port_index port with
+  match Int_table.find_opt t.port_index port with
   | None -> ()
   | Some i -> (
     match t.wrr with
@@ -243,20 +241,20 @@ let note_congested t ~port =
           (Wrr.weights w))
 
 let note_util t ~port ~util =
-  match Hashtbl.find_opt t.port_index port with
-  | None -> ()
-  | Some i ->
+  let i = Int_table.find_default t.port_index port (-1) in
+  if i >= 0 then begin
     t.utils.(i) <- util;
     t.util_at.(i) <- Some (Scheduler.now t.sched);
     t.last_alive.(i) <- Scheduler.now t.sched
+  end
 
 let note_latency t ~port ~delay =
-  match Hashtbl.find_opt t.port_index port with
-  | None -> ()
-  | Some i ->
+  let i = Int_table.find_default t.port_index port (-1) in
+  if i >= 0 then begin
     t.delays.(i) <- Sim_time.span_to_sec delay;
     t.delay_at.(i) <- Some (Scheduler.now t.sched);
     t.last_alive.(i) <- Scheduler.now t.sched
+  end
 
 let latency_spread t =
   if not (ready t) then Sim_time.zero_span

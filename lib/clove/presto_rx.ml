@@ -29,10 +29,10 @@ let flow t key =
     Hashtbl.replace t.flows key f;
     f
 
-let cancel_timer f =
+let cancel_timer t f =
   match f.timer with
   | Some h ->
-    Scheduler.cancel h;
+    Scheduler.cancel t.sched h;
     f.timer <- None
   | None -> ()
 
@@ -65,7 +65,7 @@ let flush_all t f =
         t.deliver inner
       | None -> ())
     seqs;
-  cancel_timer f
+  cancel_timer t f
 
 let arm_timer t f =
   if f.timer = None then
@@ -87,7 +87,7 @@ let on_packet t inner ~cell =
     f.expected <- f.expected + 1;
     t.deliver inner;
     drain t f;
-    if Hashtbl.length f.buffer = 0 then cancel_timer f
+    if Hashtbl.length f.buffer = 0 then cancel_timer t f
   end
   else begin
     t.reordered <- t.reordered + 1;

@@ -45,7 +45,7 @@ type stats = {
 (* receiver-side relay state about one remote (sending) hypervisor *)
 type peer_rx_state = {
   fb_queue : Packet.clove_feedback Queue.t;
-  last_relay : (int, Sim_time.t) Hashtbl.t; (* port -> last relay time *)
+  last_relay : Sim_time.t Int_table.t; (* port -> last relay time *)
   mutable fb_timer : Scheduler.handle option;
 }
 
@@ -66,14 +66,20 @@ type t = {
   scheme : scheme;
   cfg : Clove_config.t;
   rng : Rng.t;
-  tables : (int, Path_table.t) Hashtbl.t; (* dst hv -> paths *)
+  (* per-packet state lives in flat {!Int_table}s; the [no_*] records are
+     each table's dummy, doubling as the physical absence sentinel for
+     allocation-free lookups *)
+  tables : Path_table.t Int_table.t; (* dst hv -> paths *)
+  no_table : Path_table.t;
   flowlets : int Flowlet.t; (* decision = outer source port *)
-  presto_flows : (int, presto_flow) Hashtbl.t;
-  presto_weights : (int, float array) Hashtbl.t; (* dst hv -> weights (aligned to table ports) *)
+  presto_flows : presto_flow Int_table.t;
+  no_presto_flow : presto_flow;
+  presto_weights : float array Int_table.t; (* dst hv -> weights (aligned to table ports) *)
   mutable presto_weight_fn : Clove_path.t -> float;
   presto_rx : Presto_rx.t;
-  reorder_seq : (int, int ref) Hashtbl.t; (* clove_reorder per-flow counter *)
-  peers : (int, peer_rx_state) Hashtbl.t;
+  reorder_seq : int Int_table.t; (* clove_reorder per-flow next seq *)
+  peers : peer_rx_state Int_table.t;
+  no_peer : peer_rx_state;
   mutable daemon : Traceroute.t option;
   (* fault-injection drop points, driven by the chaos layer; the rng is a
      dedicated substream consumed only while a loss probability is set *)
@@ -102,19 +108,20 @@ let rewrite_overhead_bytes = 12
 
 let table t dst =
   let key = Addr.to_int dst in
-  match Hashtbl.find_opt t.tables key with
-  | Some tbl -> tbl
-  | None ->
+  let tbl = Int_table.find_default t.tables key t.no_table in
+  if tbl != t.no_table then tbl
+  else begin
     let tbl = Path_table.create ~sched:t.sched ~cfg:t.cfg in
-    Hashtbl.replace t.tables key tbl;
+    Int_table.set t.tables key tbl;
     tbl
+  end
 
 let on_paths t ~dst pairs =
   let tbl = table t dst in
   Path_table.install tbl pairs;
   if t.scheme = Presto then begin
     let ws = Array.of_list (List.map (fun (_, path) -> t.presto_weight_fn path) pairs) in
-    Hashtbl.replace t.presto_weights (Addr.to_int dst) ws
+    Int_table.set t.presto_weights (Addr.to_int dst) ws
   end
 
 let add_destination t dst =
@@ -127,12 +134,19 @@ let add_destination t dst =
 
 let peer_state t hv =
   let key = Addr.to_int hv in
-  match Hashtbl.find_opt t.peers key with
-  | Some p -> p
-  | None ->
-    let p = { fb_queue = Queue.create (); last_relay = Det.create 8; fb_timer = None } in
-    Hashtbl.replace t.peers key p;
+  let p = Int_table.find_default t.peers key t.no_peer in
+  if p != t.no_peer then p
+  else begin
+    let p =
+      {
+        fb_queue = Queue.create ();
+        last_relay = Int_table.create ~capacity:8 ~dummy:Sim_time.zero ();
+        fb_timer = None;
+      }
+    in
+    Int_table.set t.peers key p;
     p
+  end
 
 let hashed_port key = 49152 + (Ecmp_hash.hash_tuple ~seed:0x5107 (key, 0, 0, 0) mod 16384)
 let random_port t = 49152 + Rng.int t.rng 16384
@@ -169,6 +183,7 @@ let rec arm_fb_timer t ~hv peer =
   if peer.fb_timer = None then
     peer.fb_timer <-
       Some
+        (* lint: allow sema-hotpath-alloc — cancellable deadline timer, needs a handle *)
         (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.feedback_deadline (fun () ->
              peer.fb_timer <- None;
              match Queue.take_opt peer.fb_queue with
@@ -181,26 +196,28 @@ let enqueue_feedback t ~from_hv fb ~port =
   let peer = peer_state t from_hv in
   let now = Scheduler.now t.sched in
   let allowed =
-    match Hashtbl.find_opt peer.last_relay port with
+    (* [find_opt] keeps the "never relayed" case distinct from a relay at
+       t = 0; this runs per marked packet, not per packet *)
+    match Int_table.find_opt peer.last_relay port with
     | None -> true
     | Some last -> Sim_time.(now >= add last t.cfg.Clove_config.ecn_relay_interval)
   in
   if allowed then begin
-    Hashtbl.replace peer.last_relay port now;
+    Int_table.set peer.last_relay port now;
     Queue.add fb peer.fb_queue;
     arm_fb_timer t ~hv:from_hv peer
   end
 
 let pop_feedback t ~to_hv =
-  match Hashtbl.find_opt t.peers (Addr.to_int to_hv) with
-  | None -> None
-  | Some peer -> (
+  let peer = Int_table.find_default t.peers (Addr.to_int to_hv) t.no_peer in
+  if peer == t.no_peer then None
+  else (
     match Queue.take_opt peer.fb_queue with
     | Some fb ->
       if Queue.is_empty peer.fb_queue then (
         match peer.fb_timer with
         | Some h ->
-          Scheduler.cancel h;
+          Scheduler.cancel t.sched h;
           peer.fb_timer <- None
         | None -> ());
       Some fb
@@ -279,14 +296,14 @@ let presto_pick t ~flow_key ~dst ~wire_size =
   if not (Path_table.ready tbl) then (hashed_port flow_key, None)
   else begin
     let pf =
-      match Hashtbl.find_opt t.presto_flows flow_key with
-      | Some pf -> pf
-      | None ->
+      let pf = Int_table.find_default t.presto_flows flow_key t.no_presto_flow in
+      if pf != t.no_presto_flow then pf
+      else begin
         let ports = Path_table.ports tbl in
+        let ws = Int_table.find_default t.presto_weights (Addr.to_int dst) [||] in
         let weights =
-          match Hashtbl.find_opt t.presto_weights (Addr.to_int dst) with
-          | Some ws when Array.length ws = Array.length ports -> ws
-          | _ -> Array.make (Array.length ports) 1.0
+          if Array.length ws = Array.length ports then ws
+          else Array.make (Array.length ports) 1.0
         in
         let p_wrr = Wrr.create ~weights in
         let pf =
@@ -299,8 +316,9 @@ let presto_pick t ~flow_key ~dst ~wire_size =
             p_ports = ports;
           }
         in
-        Hashtbl.replace t.presto_flows flow_key pf;
+        Int_table.set t.presto_flows flow_key pf;
         pf
+      end
     in
     if pf.cell_id < 0 || pf.cell_bytes + wire_size > t.cfg.Clove_config.presto_cell_bytes
     then begin
@@ -345,16 +363,10 @@ let tx t pkt =
         match cell with
         | Some _ -> cell
         | None when t.cfg.Clove_config.clove_reorder ->
-          let counter =
-            match Hashtbl.find_opt t.reorder_seq flow_key with
-            | Some r -> r
-            | None ->
-              let r = ref 0 in
-              Hashtbl.replace t.reorder_seq flow_key r;
-              r
-          in
-          let seq = !counter in
-          incr counter;
+          (* flat table stores the next seq directly — no ref cell; the
+             dummy 0 is exactly the first sequence number *)
+          let seq = Int_table.find_default t.reorder_seq flow_key 0 in
+          Int_table.set t.reorder_seq flow_key (seq + 1);
           Some { Packet.flow_key; cell_id = 0; cell_seq = seq }
         | None -> None
       in
@@ -406,15 +418,17 @@ let rx_tenant t pkt (inner : Packet.inner) =
     (if inner.Packet.seg.Packet.kind = Packet.Ack then
        match t.scheme with
        | Clove_ecn | Clove_int | Clove_latency ->
-         (match Hashtbl.find_opt t.tables (Addr.to_int inner.Packet.src) with
-         | None -> ()
-         | Some tbl -> (
+         let tbl =
+           Int_table.find_default t.tables (Addr.to_int inner.Packet.src)
+             t.no_table
+         in
+         if tbl != t.no_table then (
            match
              Flowlet.active_flowlet t.flowlets
                ~key:(Packet.tcp_flow_key_rev inner)
            with
            | Some port -> Path_table.note_alive tbl ~port
-           | None -> ()))
+           | None -> ())
        | Ecmp | Edge_flowlet | Presto | Direct -> ());
     (* source-side: apply feedback the peer piggybacked for us *)
     (match e.Packet.feedback with
@@ -486,6 +500,26 @@ let rx t pkt =
 
 let create ~host ~stack ~scheme ~cfg ~rng () =
   let sched = Host.sched host in
+  (* dummies are pure allocations: building them consumes no RNG and
+     schedules nothing, so they cannot perturb determinism *)
+  let no_table = Path_table.create ~sched ~cfg in
+  let no_peer =
+    {
+      fb_queue = Queue.create ();
+      last_relay = Int_table.create ~capacity:2 ~dummy:Sim_time.zero ();
+      fb_timer = None;
+    }
+  in
+  let no_presto_flow =
+    {
+      cell_bytes = 0;
+      cell_id = -1;
+      pkt_seq = 0;
+      cur_port = 0;
+      p_wrr = Wrr.create ~weights:[| 1.0 |];
+      p_ports = [||];
+    }
+  in
   let t =
       {
         sched;
@@ -494,16 +528,19 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
         scheme;
         cfg;
         rng;
-        tables = Det.create 16;
-        flowlets = Flowlet.create ~sched ~gap:cfg.Clove_config.flowlet_gap;
-        presto_flows = Det.create 64;
-        presto_weights = Det.create 16;
+        tables = Int_table.create ~capacity:16 ~dummy:no_table ();
+        no_table;
+        flowlets = Flowlet.create ~sched ~gap:cfg.Clove_config.flowlet_gap ~dummy:0;
+        presto_flows = Int_table.create ~capacity:64 ~dummy:no_presto_flow ();
+        no_presto_flow;
+        presto_weights = Int_table.create ~capacity:16 ~dummy:[||] ();
         presto_weight_fn = (fun _ -> 1.0);
         presto_rx =
           Presto_rx.create ~sched ~cfg ~deliver:(fun inner ->
               Transport.Stack.deliver stack inner);
-        reorder_seq = Det.create 64;
-        peers = Det.create 16;
+        reorder_seq = Int_table.create ~capacity:64 ~dummy:0 ();
+        peers = Int_table.create ~capacity:16 ~dummy:no_peer ();
+        no_peer;
         daemon = None;
         faults_rng = Rng.split_named rng "fault-drops";
         fb_loss = 0.0;
@@ -533,9 +570,15 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
     if cfg.Clove_config.failure_recovery then begin
       let rec tick () =
         if not t.stopped then begin
-          Det.iter_sorted ~compare:Int.compare
-            (fun _ tbl -> Path_table.maintain tbl)
-            t.tables;
+          Int_table.iter_sorted (fun _ tbl -> Path_table.maintain tbl) t.tables;
+          (* evict flows idle for far longer than the flowlet gap.  The
+             32x margin keeps eviction observably invisible: the next
+             packet of an evicted flow would have started a new flowlet
+             anyway (idle >= gap), the Clove pickers ignore [flowlet_id],
+             and an ACK arriving that long after the flow's last transmit
+             no longer carries usable liveness evidence *)
+          Flowlet.expire_older_than t.flowlets
+            (Sim_time.mul_span t.cfg.Clove_config.flowlet_gap 32.0);
           let (_ : Scheduler.handle) =
             Scheduler.schedule t.sched
               ~after:t.cfg.Clove_config.maintain_interval tick
@@ -568,9 +611,8 @@ let set_presto_weight_fn t f = t.presto_weight_fn <- f
 
 let path_table t dst =
   let key = Addr.to_int dst in
-  match Hashtbl.find_opt t.tables key with
-  | Some tbl when Path_table.ready tbl -> Some tbl
-  | Some _ | None -> None
+  let tbl = Int_table.find_default t.tables key t.no_table in
+  if tbl != t.no_table && Path_table.ready tbl then Some tbl else None
 
 let scheme t = t.scheme
 let host t = t.host
@@ -590,6 +632,7 @@ let stats t =
   }
 
 let flowlet_table_gap t = Flowlet.gap t.flowlets
+let flows_tracked t = Flowlet.flows_tracked t.flowlets
 
 let stop t =
   t.stopped <- true;

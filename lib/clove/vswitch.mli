@@ -91,6 +91,10 @@ val scheme : t -> scheme
 val host : t -> Host.t
 val stats : t -> stats
 val flowlet_table_gap : t -> Sim_time.span
+
+(** Flows currently resident in the flowlet table (bounded in long runs
+    by the maintain tick's idle-flow eviction). *)
+val flows_tracked : t -> int
 val stop : t -> unit
 (** Stop the traceroute daemon and the recovery maintenance timer (end of
     experiment). *)

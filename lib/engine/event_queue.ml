@@ -55,11 +55,13 @@ let grow t =
   t.seqs <- seqs;
   t.values <- values
 
-let add t ~time value =
+(* [add_at_ns] is the scheduler-facing entry point: the scheduler owns
+   the sequence counter (it is shared with the timer wheel so wheel
+   overflow and direct heap adds draw from one stream), so the seq is a
+   caller argument here.  [add] below keeps the self-sequencing API for
+   standalone users (benchmarks, tests). *)
+let add_at_ns t ~time_ns:time ~seq value =
   if t.size = Array.length t.times then grow t;
-  let time = Sim_time.to_ns time in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
   let fifo = fifo_now () in
   let times = t.times and seqs = t.seqs and values = t.values in
   (* hole-based sift-up: move lighter parents down, drop the new entry in *)
@@ -80,11 +82,70 @@ let add t ~time value =
   seqs.(!i) <- seq;
   values.(!i) <- value
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top_time = t.times.(0) and top_value = t.values.(0) in
-    let n = t.size - 1 in
+let add t ~time value =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  add_at_ns t ~time_ns:(Sim_time.to_ns time) ~seq value
+
+(* Floyd heapify: restore the heap property over the first [size]
+   entries after an in-place rewrite.  Pop order is unaffected by the
+   internal layout — (time, seq) is a total order, so the minimum popped
+   at every step is the same whatever valid heap shape the arrays hold —
+   which is what makes in-place compaction determinism-safe. *)
+let heapify t =
+  let n = t.size in
+  let times = t.times and seqs = t.seqs and values = t.values in
+  let fifo = fifo_now () in
+  for start = (n / 2) - 1 downto 0 do
+    let mtime = times.(start) and mseq = seqs.(start) and mvalue = values.(start) in
+    let i = ref start in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= n then sifting := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && lt ~fifo times.(r) seqs.(r) times.(l) seqs.(l) then r
+          else l
+        in
+        if lt ~fifo times.(c) seqs.(c) mtime mseq then begin
+          times.(!i) <- times.(c);
+          seqs.(!i) <- seqs.(c);
+          values.(!i) <- values.(c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    times.(!i) <- mtime;
+    seqs.(!i) <- mseq;
+    values.(!i) <- mvalue
+  done
+
+let compact t ~keep =
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    if keep t.values.(i) then begin
+      if !kept <> i then begin
+        t.times.(!kept) <- t.times.(i);
+        t.seqs.(!kept) <- t.seqs.(i);
+        t.values.(!kept) <- t.values.(i)
+      end;
+      incr kept
+    end
+  done;
+  let dropped = t.size - !kept in
+  Array.fill t.values !kept dropped t.dummy;
+  t.size <- !kept;
+  heapify t;
+  dropped
+
+(* Allocation-free pop for the scheduler's hot loop: the caller must
+   check emptiness (and read [min_time_ns]) first. *)
+let pop_unsafe t =
+  let top_value = t.values.(0) in
+  let n = t.size - 1 in
     t.size <- n;
     if n > 0 then begin
       let times = t.times and seqs = t.seqs and values = t.values in
@@ -117,9 +178,17 @@ let pop t =
     end;
     (* release the vacated payload slot for GC *)
     t.values.(t.size) <- t.dummy;
+    top_value
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top_time = t.times.(0) in
+    let top_value = pop_unsafe t in
     Some (Sim_time.of_ns top_time, top_value)
   end
 
+let min_time_ns t = if t.size = 0 then max_int else t.times.(0)
 let peek_time t = if t.size = 0 then None else Some (Sim_time.of_ns t.times.(0))
 let size t = t.size
 let is_empty t = t.size = 0

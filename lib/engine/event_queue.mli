@@ -18,9 +18,29 @@ val create : ?capacity:int -> dummy:'a -> unit -> 'a t
     slots; any value of type ['a] works (it is never popped). *)
 
 val add : 'a t -> time:Sim_time.t -> 'a -> unit
+(** Self-sequencing add: the queue assigns the next insertion sequence. *)
+
+val add_at_ns : 'a t -> time_ns:int -> seq:int -> 'a -> unit
+(** Raw add with a caller-owned sequence number.  The scheduler shares
+    one sequence stream between this heap and the timer wheel, so wheel
+    entries flushed into the heap keep their original tie-break rank.
+    Do not mix with [add] on the same queue. *)
 
 val pop : 'a t -> (Sim_time.t * 'a) option
 (** Remove and return the earliest event, or [None] if empty. *)
+
+val pop_unsafe : 'a t -> 'a
+(** Allocation-free pop of the earliest payload.  The queue must be
+    non-empty (check [size]/[min_time_ns] first); the popped event's time
+    is [min_time_ns] read before the call. *)
+
+val min_time_ns : 'a t -> int
+(** Earliest queued time in raw ns, or [max_int] when empty. *)
+
+val compact : 'a t -> keep:('a -> bool) -> int
+(** Drop every entry whose payload fails [keep] and restore the heap in
+    place; returns the number dropped.  Pop order of surviving entries is
+    unchanged ((time, seq) is a total order). *)
 
 val peek_time : 'a t -> Sim_time.t option
 

@@ -1,10 +1,58 @@
-type handle = { mutable live : bool; thunk : unit -> unit }
+(* Discrete-event scheduler: timing wheel + overflow heap, with a
+   defunctionalized (zero-allocation) path for steady-state events.
+
+   Two structures hold pending events.  Short-horizon timers — link
+   hops, switch pipeline latencies, TCP RTO/TLP, flowlet gaps — land in
+   a hierarchical {!Timer_wheel}; far-future events (quiesce horizons,
+   long idle timers) overflow into the {!Event_queue} binary heap.  Both
+   draw sequence numbers from one scheduler-owned counter, and the wheel
+   flushes whole windows into the heap before the clock can reach them,
+   so pop order is exactly that of a single binary heap under the
+   (time, seq) total order — byte-identical results, wheel on or off.
+
+   Steady-state events avoid closures entirely: a component registers a
+   handler kind once at construction ([register_kind]) and then
+   schedules (kind, arg) pairs ([schedule_tag]) carried by pooled,
+   reusable handle records.  Pooled handles are fire-and-forget — never
+   exposed, never cancellable — so recycling them needs no generation
+   counters.  Cancellable or cold-path events keep the closure API.
+
+   Cancelled handles are purged lazily: the wheel drops them when their
+   slot flushes, the heap when they pop, and a compaction sweep runs
+   when dead handles outnumber live ones (a TCP sender re-arming its RTO
+   on every ack would otherwise grow the queue without bound). *)
+
+(* A/B switches for the benchmark harness.  [defunctionalized] is read
+   by components at schedule time (they fall back to equivalent closure
+   scheduling when false); [use_wheel] is captured per-scheduler at
+   [create].  Both paths produce identical event schedules — these exist
+   so one process can measure before/after on the same host. *)
+let defunctionalized = ref true
+let wheel_enabled = ref true
+
+type handle = {
+  mutable live : bool;
+  mutable kind : int; (* -1 = closure event; >= 0 = dispatch-table index *)
+  mutable arg : int; (* operand for tagged events *)
+  mutable thunk : unit -> unit;
+}
 
 type t = {
   id : int;
   mutable clock : Sim_time.t;
   mutable fired : int;
   queue : handle Event_queue.t;
+  wheel : handle Timer_wheel.t;
+  use_wheel : bool;
+  mutable next_seq : int; (* shared by wheel and heap: one tie-break stream *)
+  mutable dead : int; (* cancelled handles still queued *)
+  mutable handlers : (int -> unit) array;
+  mutable n_kinds : int;
+  mutable pool : handle array; (* free tagged handles, stack discipline *)
+  mutable pool_len : int;
+  mutable wheel_scheduled : int;
+  mutable heap_scheduled : int;
+  mutable compactions : int;
 }
 
 (* distinguishes schedulers in the invariant auditor's per-clock
@@ -12,9 +60,13 @@ type t = {
    Atomic because parallel sweeps build scenarios on several domains. *)
 let next_id = Atomic.make 0
 
-(* pads empty event-queue slots; [live = false] so it is inert even if a
-   bug ever dispatched it *)
-let dummy_handle = { live = false; thunk = (fun () -> ()) }
+let nop () = ()
+
+(* pads empty queue/wheel/pool slots; [live = false] so it is inert even
+   if a bug ever dispatched it *)
+let dummy_handle = { live = false; kind = -1; arg = 0; thunk = nop }
+
+let nop_handler (_ : int) = ()
 
 let create () =
   {
@@ -22,19 +74,111 @@ let create () =
     clock = Sim_time.zero;
     fired = 0;
     queue = Event_queue.create ~dummy:dummy_handle ();
+    wheel = Timer_wheel.create ~dummy:dummy_handle ~keep:(fun h -> h.live) ();
+    use_wheel = !wheel_enabled;
+    next_seq = 0;
+    dead = 0;
+    handlers = Array.make 8 nop_handler;
+    n_kinds = 0;
+    pool = Array.make 32 dummy_handle;
+    pool_len = 0;
+    compactions = 0;
+    wheel_scheduled = 0;
+    heap_scheduled = 0;
   }
 
 let now t = t.clock
 
+(* ---- dispatch table ---- *)
+
+let register_kind t f =
+  if t.n_kinds = Array.length t.handlers then begin
+    let handlers = Array.make (2 * t.n_kinds) nop_handler in
+    Array.blit t.handlers 0 handlers 0 t.n_kinds;
+    t.handlers <- handlers
+  end;
+  let k = t.n_kinds in
+  t.handlers.(k) <- f;
+  t.n_kinds <- k + 1;
+  k
+
+(* ---- handle pool (tagged fire-and-forget events only) ---- *)
+
+let alloc_handle t ~kind ~arg =
+  if t.pool_len = 0 then { live = true; kind; arg; thunk = nop }
+  else begin
+    let n = t.pool_len - 1 in
+    t.pool_len <- n;
+    let h = t.pool.(n) in
+    t.pool.(n) <- dummy_handle;
+    h.live <- true;
+    h.kind <- kind;
+    h.arg <- arg;
+    h
+  end
+
+let release_handle t h =
+  if t.pool_len = Array.length t.pool then begin
+    let pool = Array.make (2 * t.pool_len) dummy_handle in
+    Array.blit t.pool 0 pool 0 t.pool_len;
+    t.pool <- pool
+  end;
+  t.pool.(t.pool_len) <- h;
+  t.pool_len <- t.pool_len + 1
+
+(* ---- enqueue ---- *)
+
+let push t ~time_ns h =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  if t.use_wheel && Timer_wheel.add t.wheel ~time_ns ~seq h then
+    t.wheel_scheduled <- t.wheel_scheduled + 1
+  else begin
+    t.heap_scheduled <- t.heap_scheduled + 1;
+    Event_queue.add_at_ns t.queue ~time_ns ~seq h
+  end
+
 let schedule_at t ~time f =
-  if Sim_time.(time < t.clock) then invalid_arg "Scheduler.schedule_at: time in the past";
-  let h = { live = true; thunk = f } in
-  Event_queue.add t.queue ~time h;
+  if Sim_time.(time < t.clock) then
+    invalid_arg "Scheduler.schedule_at: time in the past";
+  let h = { live = true; kind = -1; arg = 0; thunk = f } in
+  push t ~time_ns:(Sim_time.to_ns time) h;
   h
 
 let schedule t ~after f = schedule_at t ~time:(Sim_time.add t.clock after) f
-let cancel h = h.live <- false
+
+let schedule_tag t ~after ~kind ~arg =
+  let time_ns = Sim_time.to_ns t.clock + Sim_time.span_ns after in
+  if time_ns < Sim_time.to_ns t.clock then
+    invalid_arg "Scheduler.schedule_tag: time in the past";
+  push t ~time_ns (alloc_handle t ~kind ~arg)
+
+(* ---- cancellation & compaction ---- *)
+
 let is_pending h = h.live
+
+(* Sweep dead handles out of both structures when they outnumber live
+   ones (and are numerous enough to matter).  Compaction preserves every
+   survivor's (time, seq), and pop order under a total order does not
+   depend on heap layout, so this is invisible to the simulation. *)
+let maybe_compact t =
+  if t.dead > 64 && 2 * t.dead > Event_queue.size t.queue + Timer_wheel.size t.wheel
+  then begin
+    let live h = h.live in
+    let swept =
+      Event_queue.compact t.queue ~keep:live + Timer_wheel.compact t.wheel
+    in
+    t.dead <- t.dead - swept;
+    t.compactions <- t.compactions + 1
+  end
+
+let cancel t h =
+  if h.live then begin
+    h.live <- false;
+    h.thunk <- nop;
+    t.dead <- t.dead + 1;
+    maybe_compact t
+  end
 
 let schedule_periodic t ~every f =
   if Sim_time.compare_span every Sim_time.zero_span <= 0 then
@@ -47,38 +191,79 @@ let schedule_periodic t ~every f =
   let (_ : handle) = schedule t ~after:every tick in
   ()
 
+(* ---- dequeue ---- *)
+
+(* Make the heap top the global minimum: if the wheel might hold an
+   earlier entry (its O(1) lower bound does not exceed the heap top),
+   flush every window up to the heap top into the heap.  With an empty
+   heap, flush just the earliest occupied window.  Either way the heap
+   top afterwards precedes every entry still staged in the wheel. *)
+let prepare t =
+  if t.use_wheel && not (Timer_wheel.is_empty t.wheel) then begin
+    let heap_min = Event_queue.min_time_ns t.queue in
+    if Timer_wheel.min_bound_ns t.wheel <= heap_min then
+      let purged =
+        if heap_min = max_int then Timer_wheel.advance_next t.wheel ~into:t.queue
+        else Timer_wheel.advance t.wheel ~upto_ns:heap_min ~into:t.queue
+      in
+      t.dead <- t.dead - purged
+  end
+
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, h) ->
+  prepare t;
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let time_ns = Event_queue.min_time_ns t.queue in
+    let h = Event_queue.pop_unsafe t.queue in
     if !Analysis.Audit.on then
-      Analysis.Audit.note_clock ~clock_id:t.id ~now_ns:(Sim_time.to_ns time);
-    t.clock <- time;
+      Analysis.Audit.note_clock ~clock_id:t.id ~now_ns:time_ns;
+    t.clock <- Sim_time.of_ns time_ns;
     t.fired <- t.fired + 1;
     if h.live then begin
       h.live <- false;
-      h.thunk ()
-    end;
+      let k = h.kind in
+      if k >= 0 then begin
+        (* recycle before dispatch: the handler may schedule and reuse
+           this very record, which is safe once kind/arg are copied out *)
+        let a = h.arg in
+        release_handle t h;
+        t.handlers.(k) a
+      end
+      else h.thunk ()
+    end
+    else t.dead <- t.dead - 1;
     true
+  end
 
 let run ?until ?(max_events = max_int) t =
   let fired = ref 0 in
   let continue () =
     !fired < max_events
-    &&
-    match Event_queue.peek_time t.queue with
-    | None -> false
-    | Some time -> (
-      match until with
-      | Some horizon when Sim_time.(time > horizon) ->
-        t.clock <- horizon;
-        false
-      | _ -> true)
+    && begin
+         prepare t;
+         let time_ns = Event_queue.min_time_ns t.queue in
+         if time_ns = max_int then false
+         else
+           match until with
+           | Some horizon when time_ns > Sim_time.to_ns horizon ->
+             t.clock <- horizon;
+             false
+           | _ -> true
+       end
   in
   while continue () do
     let (_ : bool) = step t in
     incr fired
   done
 
-let pending_events t = Event_queue.size t.queue
+(* ---- accounting ---- *)
+
+let pending_events t = Event_queue.size t.queue + Timer_wheel.size t.wheel
+let live_events t = pending_events t - t.dead
+let dead_events t = t.dead
 let events_fired t = t.fired
+let wheel_scheduled t = t.wheel_scheduled
+let heap_scheduled t = t.heap_scheduled
+let wheel_occupancy t = Timer_wheel.size t.wheel
+let heap_occupancy t = Event_queue.size t.queue
+let compactions t = t.compactions

@@ -1,30 +1,57 @@
 (** Discrete-event scheduler.
 
-    The scheduler owns the simulation clock and an event queue of thunks.
-    All simulator components share one scheduler; running it drains events in
-    timestamp order until the queue is empty or a configured horizon/stop
-    condition is reached. *)
+    The scheduler owns the simulation clock and the pending-event set,
+    split between a hierarchical timing wheel (short-horizon timers) and
+    an overflow binary heap (far future).  Both share one insertion-
+    sequence stream and the wheel flushes whole windows into the heap
+    ahead of the clock, so pop order is exactly that of a single binary
+    heap under the (time, seq) total order — results are identical with
+    the wheel on or off.
+
+    Steady-state events use the defunctionalized path: components
+    register a handler kind once ({!register_kind}) and schedule
+    (kind, arg) pairs ({!schedule_tag}) carried by pooled handle
+    records, allocating nothing per event.  Closure scheduling remains
+    for cancellable timers and cold paths. *)
 
 type t
 
 type handle
-(** A scheduled event that can be cancelled before it fires. *)
+(** A scheduled closure event that can be cancelled before it fires.
+    Tagged events ({!schedule_tag}) are fire-and-forget and expose no
+    handle. *)
 
 val create : unit -> t
+(** Captures {!wheel_enabled} at creation time. *)
 
 val now : t -> Sim_time.t
 (** Current simulation time. *)
 
 val schedule : t -> after:Sim_time.span -> (unit -> unit) -> handle
-(** [schedule t ~after f] runs [f] at [now t + after]. *)
+(** [schedule t ~after f] runs [f] at [now t + after].  Allocates a
+    handle and a closure — prefer {!schedule_tag} on per-packet paths. *)
 
 val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] runs [f] at [time]; raises [Invalid_argument]
     if [time] is in the past. *)
 
-val cancel : handle -> unit
+val register_kind : t -> (int -> unit) -> int
+(** Register a dispatch handler, returning its kind tag.  Called once
+    per component at construction (one closure per component for its
+    whole lifetime, not one per event). *)
+
+val schedule_tag : t -> after:Sim_time.span -> kind:int -> arg:int -> unit
+(** Allocation-free scheduling: at [now + after], call the handler
+    registered for [kind] with [arg].  The carrying handle comes from a
+    pool and is recycled at dispatch; tagged events cannot be
+    cancelled. *)
+
+val cancel : t -> handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
-    no-op. *)
+    no-op.  Dead handles are purged lazily (when their wheel slot
+    flushes or they pop) and a compaction sweep runs whenever dead
+    handles outnumber live ones, so arm/cancel churn — TCP re-arming its
+    RTO per ack — keeps the queue bounded by the live set. *)
 
 val is_pending : handle -> bool
 
@@ -40,7 +67,35 @@ val step : t -> bool
 (** Fire the single earliest event; [false] if the queue was empty. *)
 
 val pending_events : t -> int
+(** Queued handles in wheel + heap, including cancelled ones awaiting
+    purge. *)
+
+val live_events : t -> int
+val dead_events : t -> int
 
 val events_fired : t -> int
 (** Total events dispatched since creation (throughput accounting for the
-    benchmark harness). *)
+    benchmark harness).  Cancelled handles popped from the heap count,
+    matching the pre-wheel scheduler; dead handles purged in bulk do
+    not. *)
+
+val wheel_scheduled : t -> int
+(** Events that entered the timing wheel. *)
+
+val heap_scheduled : t -> int
+(** Events that went straight to the overflow heap. *)
+
+val wheel_occupancy : t -> int
+val heap_occupancy : t -> int
+
+val compactions : t -> int
+(** Dead-handle sweeps performed. *)
+
+val defunctionalized : bool ref
+(** A/B switch for the benchmark harness: when [false], components fall
+    back to closure scheduling on their steady-state paths.  Both
+    settings produce identical simulation results. *)
+
+val wheel_enabled : bool ref
+(** A/B switch: whether schedulers created from now on stage short
+    timers in the wheel.  Both settings produce identical results. *)

@@ -159,7 +159,7 @@ let install ?(flowlet_gap = Sim_time.us 500) ?(metric_age = Sim_time.ms 10) fabr
             cong_to = Hashtbl.create 32;
             cong_from = Hashtbl.create 32;
             fb_ptr = Hashtbl.create 8;
-            flowlets = Clove.Flowlet.create ~sched ~gap:flowlet_gap;
+            flowlets = Clove.Flowlet.create ~sched ~gap:flowlet_gap ~dummy:0;
           }
         in
         Hashtbl.replace t.leaves (Switch.id sw) ls;

@@ -38,7 +38,7 @@ let install ?(flowlet_gap = Sim_time.us 500) ~rng fabric =
   Array.iter
     (fun sw ->
       Hashtbl.replace t.tables (Switch.id sw)
-        (Clove.Flowlet.create ~sched ~gap:flowlet_gap);
+        (Clove.Flowlet.create ~sched ~gap:flowlet_gap ~dummy:0);
       Hashtbl.replace t.rngs (Switch.id sw)
         (Rng.split_named rng ("switch:" ^ string_of_int (Switch.id sw)));
       Switch.set_picker sw (picker t))

@@ -18,27 +18,15 @@ type t = {
   mutable tx_packets : int;
   mutable down_drops : int;
   mutable brownout_drops : int;
+  (* defunctionalized event state: serializer completions carry a slot
+     index into [tx_slots] (usually one in flight, but a down/up flap can
+     briefly overlap two); wire deliveries are strictly FIFO (constant
+     [prop_delay]) so [prop] needs no per-event identity at all *)
+  mutable k_txdone : int;
+  mutable k_deliver : int;
+  mutable tx_slots : Packet.t array; (* [Packet.placeholder] = free slot *)
+  prop : Packet.t Ring.t;
 }
-
-let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
-  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
-  let queue = match queue with Some q -> q | None -> Pkt_queue.create () in
-  {
-    sched;
-    rate_bps;
-    prop_delay;
-    queue;
-    dre = Dre.create ~rate_bps sched;
-    label;
-    sink = None;
-    busy = false;
-    is_up = true;
-    brownout = None;
-    tx_bytes = 0;
-    tx_packets = 0;
-    down_drops = 0;
-    brownout_drops = 0;
-  }
 
 let set_sink t f = t.sink <- Some f
 
@@ -62,7 +50,56 @@ let brownout_lost t =
   | None -> false
   | Some b -> b.loss_prob > 0.0 && Rng.float b.rng 1.0 < b.loss_prob
 
-let rec start_tx t =
+(* slot for a packet being serialized; frees are marked with the
+   placeholder.  Linear scan — the array holds at most a couple of
+   entries (overlap only happens across a down/up flap). *)
+let alloc_tx_slot t pkt =
+  let n = Array.length t.tx_slots in
+  let rec find i =
+    if i = n then begin
+      let slots = Array.make (2 * n) Packet.placeholder in
+      Array.blit t.tx_slots 0 slots 0 n;
+      t.tx_slots <- slots;
+      n
+    end
+    else if t.tx_slots.(i) == Packet.placeholder then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  t.tx_slots.(i) <- pkt;
+  i
+
+(* Serializer completion at [tx] after start, then propagation for
+   [prop_delay]; the serializer is free to start the next packet the
+   moment the wire takes this one.  Tagged and closure paths schedule
+   the same events at the same times in the same order — the closure
+   branch exists as the benchmark harness's before/after baseline. *)
+let rec on_txdone t slot =
+  let pkt = t.tx_slots.(slot) in
+  t.tx_slots.(slot) <- Packet.placeholder;
+  (if not t.is_up then begin
+     t.down_drops <- t.down_drops + 1;
+     audit_drop "link-down"
+   end
+   else if brownout_lost t then begin
+     t.brownout_drops <- t.brownout_drops + 1;
+     audit_drop "brownout"
+   end
+   else begin
+     Ring.push t.prop pkt;
+     Scheduler.schedule_tag t.sched ~after:t.prop_delay ~kind:t.k_deliver ~arg:0
+   end);
+  start_tx t
+
+and on_deliver t =
+  let pkt = Ring.pop t.prop in
+  if t.is_up then deliver t pkt
+  else begin
+    t.down_drops <- t.down_drops + 1;
+    audit_drop "link-down"
+  end
+
+and start_tx t =
   match Pkt_queue.dequeue t.queue with
   | None -> t.busy <- false
   | Some pkt ->
@@ -71,31 +108,68 @@ let rec start_tx t =
     t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
     t.tx_packets <- t.tx_packets + 1;
     let tx = Sim_time.tx_time ~bytes_len:pkt.Packet.size ~rate_bps:(effective_rate t) in
-    let (_ : Scheduler.handle) =
-      Scheduler.schedule t.sched ~after:tx (fun () ->
-          (* propagation: packet reaches the far end after prop_delay; the
-             serializer is free to start the next packet immediately *)
-          (if not t.is_up then begin
-             t.down_drops <- t.down_drops + 1;
-             audit_drop "link-down"
-           end
-           else if brownout_lost t then begin
-             t.brownout_drops <- t.brownout_drops + 1;
-             audit_drop "brownout"
-           end
-           else
-             let (_ : Scheduler.handle) =
-               Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
-                   if t.is_up then deliver t pkt
-                   else begin
-                     t.down_drops <- t.down_drops + 1;
-                     audit_drop "link-down"
-                   end)
-             in
-             ());
-          start_tx t)
-    in
-    ()
+    if !Scheduler.defunctionalized then
+      Scheduler.schedule_tag t.sched ~after:tx ~kind:t.k_txdone
+        ~arg:(alloc_tx_slot t pkt)
+    else
+      let (_ : Scheduler.handle) =
+        (* lint: allow sema-hotpath-alloc — A/B baseline branch *)
+        Scheduler.schedule t.sched ~after:tx (fun () ->
+            (* propagation: packet reaches the far end after prop_delay; the
+               serializer is free to start the next packet immediately *)
+            (if not t.is_up then begin
+               t.down_drops <- t.down_drops + 1;
+               audit_drop "link-down"
+             end
+             else if brownout_lost t then begin
+               t.brownout_drops <- t.brownout_drops + 1;
+               audit_drop "brownout"
+             end
+             else
+               let (_ : Scheduler.handle) =
+                 (* lint: allow sema-hotpath-alloc — A/B baseline branch *)
+                 Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
+                     if t.is_up then deliver t pkt
+                     else begin
+                       t.down_drops <- t.down_drops + 1;
+                       audit_drop "link-down"
+                     end)
+               in
+               ());
+            start_tx t)
+      in
+      ()
+
+let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  let queue = match queue with Some q -> q | None -> Pkt_queue.create () in
+  let t =
+    {
+      sched;
+      rate_bps;
+      prop_delay;
+      queue;
+      dre = Dre.create ~rate_bps sched;
+      label;
+      sink = None;
+      busy = false;
+      is_up = true;
+      brownout = None;
+      tx_bytes = 0;
+      tx_packets = 0;
+      down_drops = 0;
+      brownout_drops = 0;
+      k_txdone = -1;
+      k_deliver = -1;
+      tx_slots = Array.make 2 Packet.placeholder;
+      prop = Ring.create ~capacity:8 ~dummy:Packet.placeholder ();
+    }
+  in
+  (* one handler closure per link for its whole lifetime, not one per
+     event: the steady-state transmit path allocates nothing *)
+  t.k_txdone <- Scheduler.register_kind sched (fun slot -> on_txdone t slot);
+  t.k_deliver <- Scheduler.register_kind sched (fun _ -> on_deliver t);
+  t
 
 let send t pkt =
   if t.is_up then begin

@@ -112,6 +112,24 @@ let make ?(ttl = 64) ~size payload =
     payload;
   }
 
+(* pads rings and in-flight slots on the defunctionalized event path;
+   built without [fresh_uid] so padding never perturbs the uid stream *)
+let placeholder =
+  let a = Addr.of_int 0 in
+  {
+    uid = -1;
+    size = 0;
+    ttl = 0;
+    ecn = Not_ect;
+    encap = None;
+    conga = None;
+    int_enabled = false;
+    int_util = 0.0;
+    sent_at = Sim_time.zero;
+    audit_seq = -1;
+    payload = Probe { probe_id = -1; probe_src = a; probe_dst = a; probe_port = -1 };
+  }
+
 let make_tenant ~src ~dst ~(seg : tcp_seg) =
   let size = seg.payload + inner_header_bytes in
   make ~size (Tenant { src; dst; inner_ecn = Not_ect; seg })

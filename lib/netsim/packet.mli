@@ -135,6 +135,11 @@ val fresh_uid : unit -> int
 val make : ?ttl:int -> size:int -> payload -> t
 (** Allocates a packet with a fresh [uid]; [size] is the wire size. *)
 
+val placeholder : t
+(** Inert padding packet (uid [-1]) for rings and in-flight slots on the
+    defunctionalized event path.  Never transmitted; constructed without
+    consuming a uid so padding does not perturb the uid stream. *)
+
 val make_tenant :
   src:Addr.t -> dst:Addr.t -> seg:tcp_seg -> t
 (** Wire size is computed from the segment payload + inner headers. *)

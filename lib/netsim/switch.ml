@@ -13,7 +13,12 @@ type t = {
   mutable ports : port array;
   mutable nports : int;
   unwired : port;  (* placeholder for unpopulated port slots *)
-  routes : (Addr.t, int array) Hashtbl.t;
+  routes : int array Int_table.t; (* keyed by [Addr.to_int] *)
+  (* defunctionalized pipeline: forwards fire in FIFO order (constant
+     [latency]), so the pending packet is always the oldest in [pipe]
+     and the tagged event only carries the ingress port as its arg *)
+  mutable k_forward : int;
+  pipe : Packet.t Ring.t;
   mutable picker : picker option;
   mutable rx_hook : (t -> in_port:int -> Packet.t -> unit) option;
   mutable tx_hook : (t -> port:int -> Packet.t -> unit) option;
@@ -23,39 +28,6 @@ type t = {
 }
 
 and picker = t -> in_port:int -> Packet.t -> candidates:int array -> int
-
-let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
-    ?(index_preserving = false) ?(int_capable = false) () =
-  (* a real (never-transmitting) port fills empty slots of the port
-     array, replacing the seed's GC-unsafe [Obj.magic 0] sentinel *)
-  let unwired =
-    {
-      link =
-        Link.create ~sched ~rate_bps:1.0 ~prop_delay:Sim_time.zero_span
-          ~label:"unwired" ();
-      peer = -1;
-      parallel_index = 0;
-    }
-  in
-  {
-    sched;
-    id;
-    level;
-    ecmp_seed;
-    latency;
-    index_preserving;
-    int_capable;
-    unwired;
-    ports = Array.make 8 unwired;
-    nports = 0;
-    routes = Hashtbl.create 64;
-    picker = None;
-    rx_hook = None;
-    tx_hook = None;
-    rx_packets = 0;
-    routing_drops = 0;
-    ttl_drops = 0;
-  }
 
 let id t = t.id
 let level t = t.level
@@ -95,9 +67,9 @@ let ports_to_peer t ~peer =
   done;
   !acc
 
-let set_routes t addr ports = Hashtbl.replace t.routes addr ports
-let routes t addr = Hashtbl.find_opt t.routes addr
-let clear_routes t = Hashtbl.reset t.routes
+let set_routes t addr ports = Int_table.set t.routes (Addr.to_int addr) ports
+let routes t addr = Int_table.find_opt t.routes (Addr.to_int addr)
+let clear_routes t = Int_table.clear t.routes
 let set_picker t p = t.picker <- Some p
 let clear_picker t = t.picker <- None
 let set_rx_hook t h = t.rx_hook <- Some h
@@ -149,11 +121,12 @@ let answer_ttl_expired t ~in_port pkt =
 
 let forward t ~in_port pkt =
   let dst = Packet.route_dst pkt in
-  match Hashtbl.find_opt t.routes dst with
-  | None | Some [||] ->
+  (* allocation-free lookup: the shared [||] dummy doubles as "no route" *)
+  match Int_table.find_default t.routes (Addr.to_int dst) [||] with
+  | [||] ->
     t.routing_drops <- t.routing_drops + 1;
     if !Analysis.Audit.on then Analysis.Audit.note_dropped ~reason:"no-route"
-  | Some candidates ->
+  | candidates ->
     let port =
       match t.picker with
       | Some pick -> pick t ~in_port pkt ~candidates
@@ -179,13 +152,62 @@ let receive t ~in_port pkt =
          as packet conservation is concerned *)
       if !Analysis.Audit.on then Analysis.Audit.note_injected ();
       let (_ : Scheduler.handle) =
+        (* lint: allow sema-hotpath-alloc — TTL expiry is an error path *)
         Scheduler.schedule t.sched ~after:t.latency (fun () ->
             forward t ~in_port:(-1) reply)
       in
       ()
   end
+  else if !Scheduler.defunctionalized then begin
+    Ring.push t.pipe pkt;
+    Scheduler.schedule_tag t.sched ~after:t.latency ~kind:t.k_forward ~arg:in_port
+  end
   else
     let (_ : Scheduler.handle) =
+      (* lint: allow sema-hotpath-alloc — A/B baseline branch *)
       Scheduler.schedule t.sched ~after:t.latency (fun () -> forward t ~in_port pkt)
     in
     ()
+
+let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
+    ?(index_preserving = false) ?(int_capable = false) () =
+  (* a real (never-transmitting) port fills empty slots of the port
+     array, replacing the seed's GC-unsafe [Obj.magic 0] sentinel *)
+  let unwired =
+    {
+      link =
+        Link.create ~sched ~rate_bps:1.0 ~prop_delay:Sim_time.zero_span
+          ~label:"unwired" ();
+      peer = -1;
+      parallel_index = 0;
+    }
+  in
+  let t =
+    {
+      sched;
+      id;
+      level;
+      ecmp_seed;
+      latency;
+      index_preserving;
+      int_capable;
+      unwired;
+      ports = Array.make 8 unwired;
+      nports = 0;
+      routes = Int_table.create ~capacity:64 ~dummy:[||] ();
+      picker = None;
+      rx_hook = None;
+      tx_hook = None;
+      rx_packets = 0;
+      routing_drops = 0;
+      ttl_drops = 0;
+      k_forward = -1;
+      pipe = Ring.create ~capacity:16 ~dummy:Packet.placeholder ();
+    }
+  in
+  (* one handler closure per switch for its whole lifetime; the pipeline
+     pops its FIFO ring for the packet and takes the port from the arg *)
+  t.k_forward <-
+    Scheduler.register_kind sched (fun in_port ->
+        forward t ~in_port (Ring.pop t.pipe));
+  t

@@ -105,14 +105,14 @@ let cwnd_bytes s = int_of_float (s.cwnd *. float_of_int (mss s))
 let cancel_rto s =
   match s.rto_handle with
   | Some h ->
-    Scheduler.cancel h;
+    Scheduler.cancel s.sched h;
     s.rto_handle <- None
   | None -> ()
 
 let cancel_tlp s =
   match s.tlp_handle with
   | Some h ->
-    Scheduler.cancel h;
+    Scheduler.cancel s.sched h;
     s.tlp_handle <- None
   | None -> ()
 

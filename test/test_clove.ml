@@ -11,7 +11,7 @@ let cfg = Clove.Clove_config.default
 
 let test_flowlet_gap_detection () =
   let sched = Scheduler.create () in
-  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) in
+  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) ~dummy:0 in
   let picks = ref 0 in
   let pick ~flowlet_id =
     incr picks;
@@ -34,7 +34,7 @@ let test_flowlet_gap_detection () =
 
 let test_flowlet_keys_independent () =
   let sched = Scheduler.create () in
-  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) in
+  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) ~dummy:0 in
   ignore (Clove.Flowlet.touch t ~key:1 ~pick:(fun ~flowlet_id -> flowlet_id));
   ignore (Clove.Flowlet.touch t ~key:2 ~pick:(fun ~flowlet_id -> flowlet_id + 100));
   check_int "two flows tracked" 2 (Clove.Flowlet.flows_tracked t);
@@ -45,7 +45,7 @@ let test_flowlet_keys_independent () =
 let test_flowlet_gap_boundary () =
   (* a packet at exactly the gap must open a new flowlet (>= semantics) *)
   let sched = Scheduler.create () in
-  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) in
+  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) ~dummy:0 in
   ignore (Clove.Flowlet.touch t ~key:1 ~pick:(fun ~flowlet_id -> flowlet_id));
   ignore
     (Scheduler.schedule sched ~after:(Sim_time.us 10) (fun () ->
@@ -55,7 +55,7 @@ let test_flowlet_gap_boundary () =
 
 let test_flowlet_expiry () =
   let sched = Scheduler.create () in
-  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) in
+  let t = Clove.Flowlet.create ~sched ~gap:(Sim_time.us 10) ~dummy:0 in
   ignore (Clove.Flowlet.touch t ~key:1 ~pick:(fun ~flowlet_id -> flowlet_id));
   ignore
     (Scheduler.schedule sched ~after:(Sim_time.ms 5) (fun () ->

@@ -223,7 +223,7 @@ let test_sched_cancel () =
   let s = Scheduler.create () in
   let fired = ref false in
   let h = Scheduler.schedule s ~after:(Sim_time.us 1) (fun () -> fired := true) in
-  Scheduler.cancel h;
+  Scheduler.cancel s h;
   Scheduler.run s;
   check_bool "cancelled" false !fired
 
@@ -282,6 +282,140 @@ let prop_scheduler_fires_all =
       Scheduler.run s;
       !fired = List.length delays)
 
+(* -------------- timer wheel vs pure-heap equivalence -------------- *)
+
+(* Firing order of a scheduler with the wheel enabled, as indices into
+   the delay list (nested re-arms offset by 10_000).  [scale] spreads
+   delays across the wheel's levels and past its ~1.07 s horizon, where
+   events overflow into the binary heap; handlers of the shortest timers
+   re-arm far-future events to exercise insertion against an advanced
+   frontier. *)
+let wheel_run_order ~wheel delays =
+  let saved = !Scheduler.wheel_enabled in
+  Scheduler.wheel_enabled := wheel;
+  let s = Scheduler.create () in
+  Scheduler.wheel_enabled := saved;
+  let log = ref [] in
+  List.iteri
+    (fun i (v, scale) ->
+      let d = v * int_of_float (10. ** float_of_int scale) in
+      ignore
+        (Scheduler.schedule s ~after:(Sim_time.ns d) (fun () ->
+             log := i :: !log;
+             if scale = 0 then
+               ignore
+                 (Scheduler.schedule s ~after:(Sim_time.ns (v * 100_000))
+                    (fun () -> log := (i + 10_000) :: !log)))))
+    delays;
+  Scheduler.run s;
+  List.rev !log
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make
+    ~name:"wheel+overflow pop order identical to pure heap (both tie-breaks)"
+    ~count:200
+    QCheck.(pair bool (small_list (pair (int_bound 2_000) (int_bound 6))))
+    (fun (fifo, delays) ->
+      let tb = if fifo then Analysis.Perturb.Fifo else Analysis.Perturb.Lifo in
+      Analysis.Perturb.with_settings ~tb ~salt:0 (fun () ->
+          wheel_run_order ~wheel:true delays
+          = wheel_run_order ~wheel:false delays))
+
+(* TCP-RTO shaped churn: every tick cancels the previous timer and arms
+   a fresh one, so nearly every scheduled event dies unfired.  The lazy
+   compaction sweep must keep the dead fraction — and with it the queue
+   footprint — bounded throughout. *)
+let test_sched_cancel_compaction () =
+  let s = Scheduler.create () in
+  let armed = ref None in
+  let bound_ok = ref true in
+  let rec tick n () =
+    (match !armed with Some h -> Scheduler.cancel s h | None -> ());
+    armed := None;
+    let d = Scheduler.dead_events s in
+    if not (d <= 64 || 2 * d <= Scheduler.pending_events s) then
+      bound_ok := false;
+    if n > 0 then begin
+      armed :=
+        Some
+          (Scheduler.schedule s ~after:(Sim_time.ms 200) (fun () ->
+               Alcotest.fail "a cancelled RTO fired"));
+      ignore (Scheduler.schedule s ~after:(Sim_time.us 10) (tick (n - 1)))
+    end
+  in
+  tick 5_000 ();
+  Scheduler.run s;
+  check_bool "dead fraction bounded at every cancel" true !bound_ok;
+  check_bool "compaction ran" true (Scheduler.compactions s > 0);
+  check_int "nothing pending after run" 0 (Scheduler.pending_events s);
+  check_int "no dead handles left" 0 (Scheduler.dead_events s)
+
+(* ------------------------------ Int_table ------------------------- *)
+
+let prop_int_table_model =
+  (* interleaved set/remove against a stdlib Hashtbl reference; sorted
+     traversal must agree exactly, including after backward-shift
+     deletions, and lookups must agree on present and absent keys *)
+  QCheck.Test.make ~name:"int_table matches reference map" ~count:300
+    QCheck.(small_list (triple (int_range (-20) 20) bool small_nat))
+    (fun ops ->
+      let t = Int_table.create ~capacity:2 ~dummy:(-1) () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, is_add, v) ->
+          if is_add then begin
+            Int_table.set t k v;
+            Hashtbl.replace model k v
+          end
+          else begin
+            Int_table.remove t k;
+            Hashtbl.remove model k
+          end)
+        ops;
+      let model_keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) model []
+        |> List.sort Int.compare
+      in
+      let sorted_bindings =
+        let acc = ref [] in
+        Int_table.iter_sorted (fun k v -> acc := (k, v) :: !acc) t;
+        List.rev !acc
+      in
+      Int_table.length t = Hashtbl.length model
+      && Int_table.sorted_keys t = model_keys
+      && sorted_bindings = List.map (fun k -> (k, Hashtbl.find model k)) model_keys
+      && List.for_all
+           (fun k ->
+             Int_table.mem t k = Hashtbl.mem model k
+             && Int_table.find_opt t k = Hashtbl.find_opt model k
+             && Int_table.find_default t k (-1)
+                = (match Hashtbl.find_opt model k with Some v -> v | None -> -1))
+           (List.init 43 (fun i -> i - 21)))
+
+let test_int_table_unsorted_iter_deterministic () =
+  (* raw iteration order is a pure function of the operation history:
+     two tables fed the same ops traverse identically — this is what
+     lets hot paths use [iter] when the effect is order-insensitive *)
+  let build () =
+    let t = Int_table.create ~capacity:4 ~dummy:(-1) () in
+    for i = 0 to 99 do
+      Int_table.set t (i * 37) i
+    done;
+    for i = 0 to 49 do
+      Int_table.remove t (i * 2 * 37)
+    done;
+    t
+  in
+  let trace t =
+    let acc = ref [] in
+    Int_table.iter (fun k v -> acc := (k, v) :: !acc) t;
+    List.rev !acc
+  in
+  let a = build () and b = build () in
+  check_int "same length" (Int_table.length a) (Int_table.length b);
+  check_bool "identical raw traversal" true (trace a = trace b);
+  check_int "odd half survives" 50 (Int_table.length a)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "engine"
@@ -321,5 +455,14 @@ let () =
           Alcotest.test_case "periodic" `Quick test_sched_periodic;
           Alcotest.test_case "past raises" `Quick test_sched_past_raises;
           qc prop_scheduler_fires_all;
+          Alcotest.test_case "RTO churn keeps dead fraction bounded" `Quick
+            test_sched_cancel_compaction;
+          qc prop_wheel_matches_heap;
+        ] );
+      ( "int_table",
+        [
+          qc prop_int_table_model;
+          Alcotest.test_case "unsorted iteration is deterministic" `Quick
+            test_int_table_unsorted_iter_deterministic;
         ] );
     ]

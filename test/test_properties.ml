@@ -126,7 +126,7 @@ let prop_flowlet_gap_semantics =
     (fun gaps_us ->
       let sched = Scheduler.create () in
       let gap = Sim_time.us 10 in
-      let t = Clove.Flowlet.create ~sched ~gap in
+      let t = Clove.Flowlet.create ~sched ~gap ~dummy:0 in
       let next_decision = ref 0 in
       let pick ~flowlet_id:_ =
         incr next_decision;
