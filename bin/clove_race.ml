@@ -1,0 +1,175 @@
+(* clove-race driver: load every .cmt under the build root, run the
+   interprocedural shared-mutable-state analysis from the
+   domain-parallel entry points, and compare the findings against the
+   committed baseline.
+
+   Usage:
+     clove_race [--cmt-root DIR]        build root ( default: _build/default
+                                        when present, else . )
+                [--source-root DIR]     where the .cmt-recorded relative
+                                        source paths resolve (default .)
+                [--scope PREFIX]*       source prefixes to analyze
+                                        (default: lib/)
+                [--baseline FILE]       committed baseline to diff against
+                [--write-baseline FILE] regenerate the baseline and exit
+                [-o FILE]               JSON report (default
+                                        clove_race_report.json)
+                [--sarif FILE]          also write a SARIF 2.1.0 artifact
+                [--bench-out FILE]      append-free wall-time/count record
+
+   Exit status: 0 clean (or only baselined/suppressed findings),
+   1 new findings, 2 usage or environment error. *)
+
+let () =
+  let cmt_root = ref None in
+  let source_root = ref "." in
+  let scopes = ref [] in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let report_path = ref "clove_race_report.json" in
+  let sarif_path = ref None in
+  let bench_path = ref None in
+  let usage () =
+    prerr_endline
+      "usage: clove_race [--cmt-root DIR] [--source-root DIR] [--scope PREFIX]* \
+       [--baseline FILE] [--write-baseline FILE] [-o FILE] [--sarif FILE] \
+       [--bench-out FILE]";
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--cmt-root" :: dir :: rest ->
+      cmt_root := Some dir;
+      parse_args rest
+    | "--source-root" :: dir :: rest ->
+      source_root := dir;
+      parse_args rest
+    | "--scope" :: prefix :: rest ->
+      scopes := prefix :: !scopes;
+      parse_args rest
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
+      parse_args rest
+    | "--write-baseline" :: path :: rest ->
+      write_baseline := Some path;
+      parse_args rest
+    | "-o" :: path :: rest ->
+      report_path := path;
+      parse_args rest
+    | "--sarif" :: path :: rest ->
+      sarif_path := Some path;
+      parse_args rest
+    | "--bench-out" :: path :: rest ->
+      bench_path := Some path;
+      parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let cmt_root =
+    match !cmt_root with Some d -> d | None -> Sema.Cmt_load.default_root ()
+  in
+  let scopes = match List.rev !scopes with [] -> [ "lib/" ] | s -> s in
+  (* lint: allow sema-wall-clock — analyzer harness timing, not simulation time *)
+  let t0 = Unix.gettimeofday () in
+  let units = Sema.Cmt_load.load ~root:cmt_root ~source_prefixes:scopes in
+  if units = [] then begin
+    Format.eprintf
+      "clove-race: no .cmt files under '%s' for scope(s) %s — build with \
+       -bin-annot first@."
+      cmt_root
+      (String.concat " " scopes);
+    exit 2
+  end;
+  let result = Sema.Race_report.run ~source_root:!source_root units in
+  (* lint: allow sema-wall-clock — analyzer harness timing, not simulation time *)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match !write_baseline with
+  | Some path ->
+    Analysis.Json_out.to_file path (Sema.Race_report.baseline_json result);
+    Format.printf "clove-race: baseline written to %s (%d entr%s)@." path
+      (List.length
+         (List.filter Sema.Race_report.is_active result.Sema.Race_report.r_findings))
+      (if
+         List.length
+           (List.filter Sema.Race_report.is_active
+              result.Sema.Race_report.r_findings)
+         = 1
+       then "y"
+       else "ies");
+    exit 0
+  | None -> ());
+  let baseline_keys =
+    match !baseline with
+    | None -> Hashtbl.create 1
+    | Some path -> (
+      match Sema.Race_report.load_baseline path with
+      | Ok keys -> keys
+      | Error e ->
+        Format.eprintf "clove-race: cannot read baseline %s: %s@." path e;
+        exit 2)
+  in
+  let fresh = Sema.Race_report.new_findings result baseline_keys in
+  let new_keys = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace new_keys (Sema.Race_report.finding_key f) ())
+    fresh;
+  Analysis.Json_out.to_file !report_path
+    (Sema.Race_report.report_json result ~new_keys);
+  (match !sarif_path with
+  | Some path ->
+    Analysis.Json_out.to_file path (Sema.Race_report.sarif result ~new_keys)
+  | None -> ());
+  (match !bench_path with
+  | Some path ->
+    let open Analysis.Json_out in
+    let s = result.Sema.Race_report.r_stats in
+    to_file path
+      (Obj
+         [
+           ("benchmark", String "clove-race");
+           ("wall_s", Float wall_s);
+           ("units", Int s.Sema.Race_report.st_units);
+           ("nodes", Int s.Sema.Race_report.st_nodes);
+           ("call_edges", Int s.Sema.Race_report.st_edges);
+           ("mutation_sites", Int s.Sema.Race_report.st_mutations);
+           ("parallel_roots", Int s.Sema.Race_report.st_roots);
+           ( "findings",
+             Int
+               (List.length
+                  (List.filter Sema.Race_report.is_active
+                     result.Sema.Race_report.r_findings)) );
+           ( "suppressed",
+             Int
+               (List.length
+                  (List.filter
+                     (fun f -> not (Sema.Race_report.is_active f))
+                     result.Sema.Race_report.r_findings)) );
+           ("new_findings", Int (List.length fresh));
+         ])
+  | None -> ());
+  let active =
+    List.filter Sema.Race_report.is_active result.Sema.Race_report.r_findings
+  in
+  List.iter
+    (fun (f : Sema.Race_report.finding) ->
+      Format.eprintf "%s:%d: [%s%s] %s mutated from parallel root(s) %s@."
+        f.Sema.Race_report.f_file f.Sema.Race_report.f_line
+        f.Sema.Race_report.f_rule
+        (if Hashtbl.mem new_keys (Sema.Race_report.finding_key f) then ", NEW"
+         else "")
+        f.Sema.Race_report.f_target
+        (String.concat ", " f.Sema.Race_report.f_roots);
+      List.iter (fun w -> Format.eprintf "    %s@." w) f.Sema.Race_report.f_witness)
+    active;
+  let stats = result.Sema.Race_report.r_stats in
+  Format.printf
+    "clove-race: %d unit(s), %d node(s), %d call edge(s), %d mutation site(s) \
+     (%d protected), %d parallel root(s); %d finding(s) (%d suppressed, %d \
+     new); report: %s@."
+    stats.Sema.Race_report.st_units stats.Sema.Race_report.st_nodes
+    stats.Sema.Race_report.st_edges stats.Sema.Race_report.st_mutations
+    stats.Sema.Race_report.st_protected stats.Sema.Race_report.st_roots
+    (List.length active)
+    (List.length result.Sema.Race_report.r_findings - List.length active)
+    (List.length fresh) !report_path;
+  if fresh <> [] then exit 1

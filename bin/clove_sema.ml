@@ -3,7 +3,13 @@
    passes, and write the cross-module JSON report.  Exits 1 if any
    finding survives its suppression check.
 
-   Usage: clove_sema [-o report.json] [root ...]
+   Usage: clove_sema [-o report.json] [--cmt-root DIR] [root ...]
+
+   With [--cmt-root] the syntactic findings are refined against the
+   compiler-generated typedtrees under DIR (see Sema.Typed_refine):
+   recognizable false positives — A/B baseline branches, audited error
+   paths, kept timer handles, benign Atomic.get reads — are dropped
+   without needing [lint: allow] annotations.
 
    The [test] tree is not scanned for findings (tests may legitimately
    exercise forbidden constructs as fixtures) but its sources do count as
@@ -31,6 +37,7 @@ let has_extension ext path = Filename.check_suffix path ext
 
 let () =
   let report_path = ref "clove_sema_report.json" in
+  let cmt_root = ref None in
   let roots = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -39,6 +46,12 @@ let () =
       parse_args rest
     | "-o" :: [] ->
       prerr_endline "clove-sema: -o needs a path";
+      exit 2
+    | "--cmt-root" :: dir :: rest ->
+      cmt_root := Some dir;
+      parse_args rest
+    | "--cmt-root" :: [] ->
+      prerr_endline "clove-sema: --cmt-root needs a directory";
       exit 2
     | root :: rest ->
       roots := root :: !roots;
@@ -64,7 +77,17 @@ let () =
   let ml_sources = List.map (fun f -> (f, read_file f)) ml_files in
   let mli_sources = List.map (fun f -> (f, read_file f)) mli_files in
   let findings =
-    List.concat_map (fun (file, src) -> Sema.analyze_source ~file src) ml_sources
+    List.concat_map (fun (file, src) -> Sema.Rules.analyze_source ~file src) ml_sources
+  in
+  let findings, dropped =
+    match !cmt_root with
+    | None -> (findings, [])
+    | Some dir ->
+      let units =
+        Sema.Cmt_load.load ~root:dir
+          ~source_prefixes:(List.map (fun r -> r ^ "/") roots)
+      in
+      Sema.Typed_refine.refine (Sema.Typed_refine.of_units units) findings
   in
   (* tests consume exports without being subject to the passes *)
   let usage_sources =
@@ -73,12 +96,12 @@ let () =
       ml_sources @ List.map (fun f -> (f, read_file f)) test_ml
     else ml_sources
   in
-  let graph = Sema.module_graph ml_sources in
-  let unused = Sema.unused_exports ~ml_sources:usage_sources ~mli_sources in
+  let graph = Sema.Rules.module_graph ml_sources in
+  let unused = Sema.Rules.unused_exports ~ml_sources:usage_sources ~mli_sources in
   Analysis.Json_out.to_file !report_path
-    (Sema.report_json ~findings ~graph ~unused
+    (Sema.Rules.report_json ~findings ~graph ~unused
        ~files_analyzed:(List.length ml_files));
-  List.iter (fun f -> Format.eprintf "%a@." Sema.pp_finding f) findings;
+  List.iter (fun f -> Format.eprintf "%a@." Sema.Rules.pp_finding f) findings;
   if findings <> [] then begin
     Format.eprintf "clove-sema: %d finding(s) in %d file(s); report: %s@."
       (List.length findings) (List.length ml_files) !report_path;
@@ -86,5 +109,7 @@ let () =
   end
   else
     Format.printf
-      "clove-sema: OK (%d .ml files, %d unused-export candidates, report: %s)@."
-      (List.length ml_files) (List.length unused) !report_path
+      "clove-sema: OK (%d .ml files, %d unused-export candidates, %d typed \
+       refinement(s), report: %s)@."
+      (List.length ml_files) (List.length unused) (List.length dropped)
+      !report_path

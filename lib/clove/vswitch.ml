@@ -183,7 +183,6 @@ let rec arm_fb_timer t ~hv peer =
   if peer.fb_timer = None then
     peer.fb_timer <-
       Some
-        (* lint: allow sema-hotpath-alloc — cancellable deadline timer, needs a handle *)
         (Scheduler.schedule t.sched ~after:t.cfg.Clove_config.feedback_deadline (fun () ->
              peer.fb_timer <- None;
              match Queue.take_opt peer.fb_queue with

@@ -113,7 +113,6 @@ and start_tx t =
         ~arg:(alloc_tx_slot t pkt)
     else
       let (_ : Scheduler.handle) =
-        (* lint: allow sema-hotpath-alloc — A/B baseline branch *)
         Scheduler.schedule t.sched ~after:tx (fun () ->
             (* propagation: packet reaches the far end after prop_delay; the
                serializer is free to start the next packet immediately *)
@@ -127,7 +126,6 @@ and start_tx t =
              end
              else
                let (_ : Scheduler.handle) =
-                 (* lint: allow sema-hotpath-alloc — A/B baseline branch *)
                  Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
                      if t.is_up then deliver t pkt
                      else begin

@@ -152,7 +152,6 @@ let receive t ~in_port pkt =
          as packet conservation is concerned *)
       if !Analysis.Audit.on then Analysis.Audit.note_injected ();
       let (_ : Scheduler.handle) =
-        (* lint: allow sema-hotpath-alloc — TTL expiry is an error path *)
         Scheduler.schedule t.sched ~after:t.latency (fun () ->
             forward t ~in_port:(-1) reply)
       in
@@ -164,7 +163,6 @@ let receive t ~in_port pkt =
   end
   else
     let (_ : Scheduler.handle) =
-      (* lint: allow sema-hotpath-alloc — A/B baseline branch *)
       Scheduler.schedule t.sched ~after:t.latency (fun () -> forward t ~in_port pkt)
     in
     ()

@@ -1,0 +1,605 @@
+(* clove-race reporting: witness-carrying footprint fixpoint, root
+   analysis, suppressions, baseline comparison, JSON and SARIF output.
+
+   The fixpoint computes, per function, a *summary*: a map from
+   mutation target (module-level value, captured variable, or a named
+   parameter) to the worst footprint class reaching it plus one
+   witness chain — the call sites, in order, from this function down
+   to a concrete mutation site.  Propagation is per-target:
+
+   - a callee's parameter effect is re-rooted through the *specific*
+     argument bound to that parameter at the call (matched by label,
+     or by position among the unlabelled arguments) — not through the
+     worst argument overall, which would let a harmless module-level
+     constant passed alongside a closure poison the chain;
+   - a callee's captured-variable effect is resolved against the
+     caller's own scope: a capture of the caller's local dies there
+     (each task owns its frame), a capture of the caller's parameter
+     becomes a parameter effect of the caller, and anything else stays
+     captured.  Resolution only applies when caller and callee share a
+     source file, since ident stamps are per-compilation-unit.
+
+   Chains only ever shrink for a given class, so
+   the iteration terminates and the chosen witness is deterministic:
+   nodes are visited in sorted order, call sites in source order, and
+   summaries iterated in sorted key order.
+
+   Findings are produced at domain-parallel roots only: a target whose
+   class at the root is Shared_mut or Captured_mut is mutated by
+   concurrently running tasks.  Param_mut at a root is, by design, not
+   a finding — a task mutating only the element it was handed is the
+   intended sharding discipline. *)
+
+open Race_lattice
+
+type hop = { h_site : Race_extract.site; h_desc : string }
+
+type finding = {
+  f_rule : string;
+  f_file : string;  (** file of the mutation site *)
+  f_line : int;
+  f_target : string;  (** e.g. ["Audit.n_dropped"], ["capture memo"] *)
+  f_roots : string list;  (** parallel roots that reach it, sorted *)
+  f_witness : string list;  (** rendered chain, root first *)
+  f_reason : string option;  (** race-allow justification; [None] = active *)
+}
+
+let finding_key f = f.f_rule ^ "|" ^ f.f_file ^ "|" ^ f.f_target
+
+let is_active f = f.f_reason = None
+
+type stats = {
+  st_units : int;
+  st_nodes : int;
+  st_edges : int;
+  st_mutations : int;
+  st_protected : int;
+  st_roots : int;
+}
+
+type t = {
+  r_findings : finding list;  (** suppressed included, sorted *)
+  r_stats : stats;
+  r_roots : (string * Race_extract.site) list;
+  r_files : string list;
+}
+
+(* --------------------------- summaries ---------------------------- *)
+
+(* target key -> (class, witness chain); keys are prefixed so a global
+   and a captured variable with the same name cannot collide *)
+type summary = (string, cls * hop list) Hashtbl.t
+
+let key_of_target = function
+  | A_global g -> Some ("g:" ^ g, Shared_mut)
+  | A_captured v -> Some ("c:" ^ v, Captured_mut)
+  | A_param u -> Some ("p:" ^ u, Param_mut)
+  | A_local -> None
+
+(* [Ident.unique_name] is ["name_stamp"]; drop the stamp for display *)
+let strip_stamp s =
+  match String.rindex_opt s '_' with
+  | Some i
+    when i > 0
+         && i < String.length s - 1
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub s (i + 1) (String.length s - i - 1)) ->
+    String.sub s 0 i
+  | _ -> s
+
+let display_of_key key =
+  match String.index_opt key ':' with
+  | Some i -> (
+    let rest = String.sub key (i + 1) (String.length key - i - 1) in
+    match key.[0] with
+    | 'g' -> rest
+    | 'c' -> "capture " ^ strip_stamp rest
+    | _ -> "a parameter")
+  | None -> key
+
+let update (t : summary) key cls hops =
+  match Hashtbl.find_opt t key with
+  | None ->
+    Hashtbl.replace t key (cls, hops);
+    true
+  | Some (cls0, hops0) ->
+    if rank cls > rank cls0 then begin
+      Hashtbl.replace t key (cls, hops);
+      true
+    end
+    else if rank cls = rank cls0 && List.length hops < List.length hops0 then begin
+      (* same class, strictly shorter witness: keep the better chain;
+         strict shrinking also guarantees termination *)
+      Hashtbl.replace t key (cls, hops);
+      true
+    end
+    else false
+
+let sorted_entries (t : summary) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* the argument bound to [uname] at a call: match the callee's declared
+   parameter by label, or by position among the unlabelled arguments;
+   [None] when the parameter is not bound at this call (partial
+   application), in which case the effect stays symbolic *)
+let arg_for_param (callee : Race_extract.node) uname args =
+  let rec find_param nolabel_idx = function
+    | [] -> None
+    | (lbl, unames) :: rest ->
+      if List.mem uname unames then Some (lbl, nolabel_idx)
+      else
+        find_param
+          (if lbl = Asttypes.Nolabel then nolabel_idx + 1 else nolabel_idx)
+          rest
+  in
+  match find_param 0 callee.Race_extract.n_param_order with
+  | None -> None
+  | Some (Asttypes.Nolabel, k) ->
+    let rec nth_nolabel k = function
+      | [] -> None
+      | (Asttypes.Nolabel, a) :: rest ->
+        if k = 0 then Some a else nth_nolabel (k - 1) rest
+      | _ :: rest -> nth_nolabel k rest
+    in
+    nth_nolabel k args
+  | Some ((Asttypes.Labelled name | Asttypes.Optional name), _) ->
+    List.find_map
+      (fun (lbl, a) ->
+        match lbl with
+        | (Asttypes.Labelled name' | Asttypes.Optional name') when name' = name ->
+          Some a
+        | _ -> None)
+      args
+
+let payload_of_key key = String.sub key 2 (String.length key - 2)
+
+let summaries (l : Race_extract.linked) =
+  let node_by_id : (string, Race_extract.node) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (n : Race_extract.node) -> Hashtbl.replace node_by_id n.Race_extract.n_id n)
+    l.Race_extract.l_nodes;
+  let summary : (string, summary) Hashtbl.t = Hashtbl.create 256 in
+  let tbl_of id =
+    match Hashtbl.find_opt summary id with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 8 in
+      Hashtbl.replace summary id t;
+      t
+  in
+  List.iter
+    (fun (n : Race_extract.node) ->
+      let t = tbl_of n.Race_extract.n_id in
+      List.iter
+        (fun (ef : Race_extract.effect_site) ->
+          if ef.ef_prot = Unprotected then
+            match key_of_target ef.ef_target with
+            | None -> ()
+            | Some (key, cls) ->
+              let (_ : bool) =
+                update t key cls
+                  [ { h_site = ef.ef_site; h_desc = ef.ef_prim } ]
+              in
+              ())
+        (List.rev n.Race_extract.n_effects))
+    l.Race_extract.l_nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n : Race_extract.node) ->
+        let t = tbl_of n.Race_extract.n_id in
+        List.iter
+          (fun (c : Race_extract.linked_call) ->
+            match Hashtbl.find_opt summary c.lc_callee with
+            | None -> ()
+            | Some ct ->
+              let callee_node = Hashtbl.find_opt node_by_id c.lc_callee in
+              let same_file =
+                match callee_node with
+                | Some cn ->
+                  cn.Race_extract.n_site.Race_extract.s_file
+                  = n.Race_extract.n_site.Race_extract.s_file
+                | None -> false
+              in
+              let call_hop =
+                { h_site = c.lc_site; h_desc = "calls " ^ c.lc_callee }
+              in
+              List.iter
+                (fun (key, (cls, hops)) ->
+                  let translated =
+                    match cls with
+                    | Shared_mut -> Some (key, Shared_mut)
+                    | Captured_mut ->
+                      (* resolve the capture against the caller's own
+                         scope when stamps are comparable *)
+                      let uname = payload_of_key key in
+                      if same_file && Hashtbl.mem n.Race_extract.n_locals uname
+                      then None
+                      else if
+                        same_file && Hashtbl.mem n.Race_extract.n_params uname
+                      then Some ("p:" ^ uname, Param_mut)
+                      else Some (key, Captured_mut)
+                    | Param_mut -> (
+                      let uname = payload_of_key key in
+                      let arg =
+                        Option.bind callee_node (fun cn ->
+                            arg_for_param cn uname c.lc_args)
+                      in
+                      match arg with
+                      | None ->
+                        (* parameter not bound at this call (partial
+                           application): keep it symbolic; it can never
+                           match the caller's own parameters, so it dies
+                           quietly at the root *)
+                        Some (key, Param_mut)
+                      | Some (A_global g) -> Some ("g:" ^ g, Shared_mut)
+                      | Some (A_captured v) -> Some ("c:" ^ v, Captured_mut)
+                      | Some (A_param u) -> Some ("p:" ^ u, Param_mut)
+                      | Some A_local -> None)
+                    | Pure | Local_mut -> None
+                  in
+                  match translated with
+                  | None -> ()
+                  | Some (key', cls') ->
+                    if update t key' cls' (call_hop :: hops) then changed := true)
+                (sorted_entries ct))
+          (match Hashtbl.find_opt l.Race_extract.l_calls n.Race_extract.n_id with
+          | Some cs -> cs
+          | None -> []))
+      l.Race_extract.l_nodes
+  done;
+  summary
+
+(* --------------------------- suppressions ------------------------- *)
+
+let allow_marker = "race-allow:"
+
+let file_cache : (string, string array) Hashtbl.t = Hashtbl.create 16
+
+let lines_of ~source_root file =
+  let path = Filename.concat source_root file in
+  match Hashtbl.find_opt file_cache path with
+  | Some ls -> Some ls
+  | None -> (
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line ic :: !acc
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let ls = Array.of_list (List.rev !acc) in
+      Hashtbl.replace file_cache path ls;
+      Some ls)
+
+let find_marker line =
+  let n = String.length line and m = String.length allow_marker in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = allow_marker then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+(* [Some reason] (possibly empty) when the mutation line or the line
+   above it carries a [(* race-allow: reason *)] comment *)
+let race_allow_at ~source_root file line =
+  match lines_of ~source_root file with
+  | None -> None
+  | Some ls ->
+    let check idx =
+      if idx < 0 || idx >= Array.length ls then None
+      else
+        match find_marker ls.(idx) with
+        | None -> None
+        | Some start ->
+          let rest = String.sub ls.(idx) start (String.length ls.(idx) - start) in
+          let rest =
+            match Str.search_forward (Str.regexp_string "*)") rest 0 with
+            | stop -> String.sub rest 0 stop
+            | exception Not_found -> rest
+          in
+          Some (String.trim rest)
+    in
+    (match check (line - 1) with Some r -> Some r | None -> check (line - 2))
+
+(* ----------------------------- findings --------------------------- *)
+
+let render_hop h =
+  Printf.sprintf "%s:%d %s" h.h_site.Race_extract.s_file h.h_site.Race_extract.s_line
+    h.h_desc
+
+let findings ~source_root (l : Race_extract.linked) summary =
+  (* merge across roots: one finding per (rule, file, target) *)
+  let acc : (string, finding) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (root_id, _spawn) ->
+      match Hashtbl.find_opt summary root_id with
+      | None -> ()
+      | Some t ->
+        List.iter
+          (fun (key, (cls, hops)) ->
+            let rule =
+              match cls with
+              | Shared_mut -> Some "race-shared-mut"
+              | Captured_mut -> Some "race-captured-mut"
+              | _ -> None
+            in
+            match rule with
+            | None -> ()
+            | Some rule ->
+              let msite = (List.nth hops (List.length hops - 1)).h_site in
+              let file = msite.Race_extract.s_file in
+              let line = msite.Race_extract.s_line in
+              let rule, reason =
+                match race_allow_at ~source_root file line with
+                | Some "" -> ("race-allow-empty", None)
+                | Some r -> (rule, Some r)
+                | None -> (rule, None)
+              in
+              let target = display_of_key key in
+              let k = rule ^ "|" ^ file ^ "|" ^ target in
+              let witness = root_id :: List.map render_hop hops in
+              (match Hashtbl.find_opt acc k with
+              | None ->
+                Hashtbl.replace acc k
+                  {
+                    f_rule = rule;
+                    f_file = file;
+                    f_line = line;
+                    f_target = target;
+                    f_roots = [ root_id ];
+                    f_witness = witness;
+                    f_reason = reason;
+                  }
+              | Some f ->
+                let witness =
+                  (* keep the shortest witness; ties by root order *)
+                  if List.length witness < List.length f.f_witness then witness
+                  else f.f_witness
+                in
+                Hashtbl.replace acc k
+                  {
+                    f with
+                    f_roots = List.sort_uniq String.compare (root_id :: f.f_roots);
+                    f_witness = witness;
+                  }))
+          (sorted_entries t))
+    l.Race_extract.l_roots;
+  Hashtbl.fold (fun _ f acc -> f :: acc) acc []
+  |> List.sort (fun a b ->
+         match String.compare a.f_file b.f_file with
+         | 0 -> (
+           match Int.compare a.f_line b.f_line with
+           | 0 -> (
+             match String.compare a.f_rule b.f_rule with
+             | 0 -> String.compare a.f_target b.f_target
+             | c -> c)
+           | c -> c)
+         | c -> c)
+
+let run ~source_root units =
+  Hashtbl.reset file_cache;
+  let l = Race_extract.analyze units in
+  let summary = summaries l in
+  let fs = findings ~source_root l summary in
+  let mutations, protected =
+    List.fold_left
+      (fun (m, p) (n : Race_extract.node) ->
+        List.fold_left
+          (fun (m, p) (ef : Race_extract.effect_site) ->
+            (m + 1, if ef.ef_prot = Unprotected then p else p + 1))
+          (m, p) n.Race_extract.n_effects)
+      (0, 0) l.Race_extract.l_nodes
+  in
+  let edges =
+    Hashtbl.fold (fun _ cs acc -> acc + List.length cs) l.Race_extract.l_calls 0
+  in
+  {
+    r_findings = fs;
+    r_stats =
+      {
+        st_units = List.length units;
+        st_nodes = List.length l.Race_extract.l_nodes;
+        st_edges = edges;
+        st_mutations = mutations;
+        st_protected = protected;
+        st_roots = List.length l.Race_extract.l_roots;
+      };
+    r_roots = l.Race_extract.l_roots;
+    r_files = l.Race_extract.l_files;
+  }
+
+(* ----------------------------- baseline --------------------------- *)
+
+let baseline_json r =
+  Analysis.Json_out.(
+    Obj
+      [
+        ("tool", String "clove-race");
+        ("version", Int 1);
+        ( "entries",
+          List
+            (List.filter_map
+               (fun f ->
+                 if is_active f then
+                   Some
+                     (Obj
+                        [
+                          ("rule", String f.f_rule);
+                          ("file", String f.f_file);
+                          ("target", String f.f_target);
+                        ])
+                 else None)
+               r.r_findings) );
+      ])
+
+(* keys present in a committed baseline file; [Error] on parse trouble
+   so CI fails loudly rather than treating everything as new *)
+let load_baseline path =
+  match Analysis.Json_in.of_file path with
+  | Error e -> Error e
+  | Ok json -> (
+    match Option.bind (Analysis.Json_in.member "entries" json) Analysis.Json_in.to_list with
+    | None -> Error "baseline has no \"entries\" array"
+    | Some entries ->
+      let keys = Hashtbl.create 32 in
+      List.iter
+        (fun entry ->
+          let field k =
+            Option.bind (Analysis.Json_in.member k entry) Analysis.Json_in.to_string_opt
+          in
+          match (field "rule", field "file", field "target") with
+          | Some rule, Some file, Some target ->
+            Hashtbl.replace keys (rule ^ "|" ^ file ^ "|" ^ target) ()
+          | _ -> ())
+        entries;
+      Ok keys)
+
+let new_findings r baseline_keys =
+  List.filter
+    (fun f -> is_active f && not (Hashtbl.mem baseline_keys (finding_key f)))
+    r.r_findings
+
+(* ------------------------------ output ---------------------------- *)
+
+let site_str (s : Race_extract.site) = Printf.sprintf "%s:%d" s.s_file s.s_line
+
+let finding_json ~new_keys f =
+  Analysis.Json_out.(
+    Obj
+      [
+        ("rule", String f.f_rule);
+        ("file", String f.f_file);
+        ("line", Int f.f_line);
+        ("target", String f.f_target);
+        ("roots", List (List.map (fun r -> String r) f.f_roots));
+        ("witness", List (List.map (fun w -> String w) f.f_witness));
+        ("suppressed", Bool (not (is_active f)));
+        ( "reason",
+          match f.f_reason with Some r -> String r | None -> Null );
+        ("new", Bool (Hashtbl.mem new_keys (finding_key f)));
+      ])
+
+let report_json r ~new_keys =
+  Analysis.Json_out.(
+    Obj
+      [
+        ("tool", String "clove-race");
+        ("version", Int 1);
+        ("files", List (List.map (fun f -> String f) r.r_files));
+        ( "roots",
+          List
+            (List.map
+               (fun (id, s) ->
+                 Obj [ ("node", String id); ("spawned_at", String (site_str s)) ])
+               r.r_roots) );
+        ( "stats",
+          Obj
+            [
+              ("units", Int r.r_stats.st_units);
+              ("nodes", Int r.r_stats.st_nodes);
+              ("call_edges", Int r.r_stats.st_edges);
+              ("mutation_sites", Int r.r_stats.st_mutations);
+              ("protected_sites", Int r.r_stats.st_protected);
+              ("parallel_roots", Int r.r_stats.st_roots);
+            ] );
+        ("findings", List (List.map (finding_json ~new_keys) r.r_findings));
+      ])
+
+let rule_descriptions =
+  [
+    ( "race-shared-mut",
+      "module-level mutable state is mutated by a domain-parallel task \
+       without atomic, lock, or domain-local discipline" );
+    ( "race-captured-mut",
+      "state captured by a closure is mutated by a domain-parallel task \
+       without atomic, lock, or domain-local discipline" );
+    ( "race-allow-empty",
+      "a race-allow suppression has no justification text" );
+  ]
+
+let sarif r ~new_keys =
+  Analysis.Json_out.(
+    let results =
+      List.filter_map
+        (fun f ->
+          if is_active f then
+            Some
+              (Obj
+                 [
+                   ("ruleId", String f.f_rule);
+                   ( "level",
+                     String
+                       (if Hashtbl.mem new_keys (finding_key f) then "error"
+                        else "warning") );
+                   ( "message",
+                     Obj
+                       [
+                         ( "text",
+                           String
+                             (Printf.sprintf "%s mutated from parallel root(s) %s; witness: %s"
+                                f.f_target
+                                (String.concat ", " f.f_roots)
+                                (String.concat " ; " f.f_witness)) );
+                       ] );
+                   ( "locations",
+                     List
+                       [
+                         Obj
+                           [
+                             ( "physicalLocation",
+                               Obj
+                                 [
+                                   ( "artifactLocation",
+                                     Obj [ ("uri", String f.f_file) ] );
+                                   ( "region",
+                                     Obj [ ("startLine", Int f.f_line) ] );
+                                 ] );
+                           ];
+                       ] );
+                 ])
+          else None)
+        r.r_findings
+    in
+    Obj
+      [
+        ("version", String "2.1.0");
+        ( "$schema",
+          String "https://json.schemastore.org/sarif-2.1.0.json" );
+        ( "runs",
+          List
+            [
+              Obj
+                [
+                  ( "tool",
+                    Obj
+                      [
+                        ( "driver",
+                          Obj
+                            [
+                              ("name", String "clove-race");
+                              ("version", String "1.0.0");
+                              ( "rules",
+                                List
+                                  (List.map
+                                     (fun (id, desc) ->
+                                       Obj
+                                         [
+                                           ("id", String id);
+                                           ( "shortDescription",
+                                             Obj [ ("text", String desc) ] );
+                                         ])
+                                     rule_descriptions) );
+                            ] );
+                      ] );
+                  ("results", List results);
+                ];
+            ] );
+      ])

@@ -1,0 +1,66 @@
+(** clove-race reporting: the witness-carrying footprint fixpoint,
+    root analysis, [(* race-allow: reason *)] suppressions, baseline
+    comparison, and JSON / SARIF emission.
+
+    Rules: [race-shared-mut] (module-level state mutated by a
+    domain-parallel task without atomic/lock/DLS discipline),
+    [race-captured-mut] (same for closure-captured state), and
+    [race-allow-empty] (a suppression whose justification is blank —
+    justifications are mandatory). *)
+
+type hop = { h_site : Race_extract.site; h_desc : string }
+
+type finding = {
+  f_rule : string;
+  f_file : string;  (** file of the mutation site *)
+  f_line : int;
+  f_target : string;  (** e.g. ["Audit.n_dropped"], ["capture memo"] *)
+  f_roots : string list;  (** parallel roots that reach it, sorted *)
+  f_witness : string list;  (** rendered call chain, root first *)
+  f_reason : string option;  (** race-allow justification; [None] = active *)
+}
+
+val finding_key : finding -> string
+(** Baseline identity: ["rule|file|target"].  Line numbers are
+    deliberately excluded so unrelated edits do not churn the
+    baseline. *)
+
+val is_active : finding -> bool
+(** Not suppressed by a justified [race-allow]. *)
+
+type stats = {
+  st_units : int;
+  st_nodes : int;
+  st_edges : int;
+  st_mutations : int;
+  st_protected : int;
+  st_roots : int;
+}
+
+type t = {
+  r_findings : finding list;  (** suppressed included; sorted by (file, line, rule, target) *)
+  r_stats : stats;
+  r_roots : (string * Race_extract.site) list;
+  r_files : string list;
+}
+
+val run : source_root:string -> Cmt_load.unit_info list -> t
+(** Extract, link, solve, and report.  [source_root] anchors the
+    relative source paths recorded in the [.cmt]s when scanning for
+    [race-allow] comments. *)
+
+val baseline_json : t -> Analysis.Json_out.t
+(** Baseline file content: the active findings' identity keys. *)
+
+val load_baseline : string -> ((string, unit) Hashtbl.t, string) result
+
+val new_findings : t -> (string, unit) Hashtbl.t -> finding list
+(** Active findings whose identity key is not in the baseline. *)
+
+val report_json : t -> new_keys:(string, unit) Hashtbl.t -> Analysis.Json_out.t
+val sarif : t -> new_keys:(string, unit) Hashtbl.t -> Analysis.Json_out.t
+
+(**/**)
+
+val race_allow_at : source_root:string -> string -> int -> string option
+(** Exposed for tests: the suppression reason at (file, line), if any. *)

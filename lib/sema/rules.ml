@@ -556,6 +556,30 @@ let unused_exports ~ml_sources ~mli_sources =
 (* ------------------------------- report --------------------------- *)
 
 let report_json ~findings ~graph ~unused ~files_analyzed =
+  (* deterministic artifact ordering, independent of traversal order *)
+  let findings =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+        | c -> c)
+      findings
+  in
+  let graph =
+    List.sort (fun a b -> String.compare a.mi_module b.mi_module) graph
+  in
+  let unused =
+    List.sort
+      (fun (m1, v1, f1) (m2, v2, f2) ->
+        match String.compare m1 m2 with
+        | 0 -> (
+          match String.compare v1 v2 with 0 -> String.compare f1 f2 | c -> c)
+        | c -> c)
+      unused
+  in
   let open Analysis.Json_out in
   Obj
     [

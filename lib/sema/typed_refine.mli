@@ -1,0 +1,28 @@
+(** Typed refinement of the syntactic sema rules.
+
+    When [.cmt]s are available, three recognizable false-positive
+    shapes of [sema-hotpath-alloc] are dropped without [lint: allow]
+    annotations — A/B-gated baseline branches
+    ([!Scheduler.defunctionalized] / [!Scheduler.wheel_enabled] /
+    [!Audit.on]), branches that directly call the audit
+    error-accounting entry points, and [Scheduler.schedule] calls whose
+    handle is kept (cancellable timers; handles bound to [_] or
+    [ignore]d stay flagged) — and [sema-domain-parallel] findings whose
+    only multicore mention on the line is a plain [Atomic.get]. *)
+
+type span = { sp_file : string; sp_start : int; sp_end : int; sp_reason : string }
+
+type t = {
+  r_cold : span list;
+  r_benign_par : (string * int, unit) Hashtbl.t;
+  r_other_par : (string * int, unit) Hashtbl.t;
+}
+
+val empty : unit -> t
+val of_units : Cmt_load.unit_info list -> t
+
+val drop_reason : t -> Rules.finding -> string option
+(** [Some reason] when the finding is a recognized false positive. *)
+
+val refine : t -> Rules.finding list -> Rules.finding list * Rules.finding list
+(** [(kept, dropped)]. *)

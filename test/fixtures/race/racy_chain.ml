@@ -1,0 +1,14 @@
+(* Seeded true positive: a module-level Hashtbl mutated two calls below
+   a domain-parallel entry point, with no atomic/lock/DLS discipline.
+   clove-race must flag [stats] with the witness chain
+   run_batch -> record -> bump -> Hashtbl.replace. *)
+
+let stats : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let bump key =
+  let n = match Hashtbl.find_opt stats key with Some n -> n | None -> 0 in
+  Hashtbl.replace stats key (n + 1)
+
+let record x = bump (x mod 8)
+
+let run_batch xs = Engine.Domain_pool.run record xs

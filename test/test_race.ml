@@ -1,0 +1,151 @@
+(* clove-race end-to-end on the seeded fixtures under
+   test/fixtures/race/ (the .cmt files come out of the race_fixtures
+   library's .objs directory), plus the lattice monotonicity property:
+   adding a call edge or raising a node's intrinsic footprint can only
+   raise the solved footprints. *)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* tests run from _build/default/test, so the fixture library's build
+   artifacts are under fixtures/ and the repo's build root is .. *)
+let load_fixture_units () =
+  Sema.Cmt_load.load ~root:"fixtures" ~source_prefixes:[ "test/fixtures/race/" ]
+
+let run_fixtures () =
+  Sema.Race_report.run ~source_root:".." (load_fixture_units ())
+
+let fixture_result = lazy (run_fixtures ())
+
+let test_fixtures_load () =
+  let units = load_fixture_units () in
+  let names = List.map (fun u -> u.Sema.Cmt_load.u_short) units in
+  Alcotest.(check bool) "racy unit loaded" true (List.mem "Racy_chain" names);
+  Alcotest.(check bool) "safe unit loaded" true (List.mem "Safe_chain" names)
+
+let test_racy_flagged () =
+  let open Sema.Race_report in
+  let r = Lazy.force fixture_result in
+  let active = List.filter is_active r.r_findings in
+  let f =
+    match List.find_opt (fun f -> f.f_target = "Racy_chain.stats") active with
+    | Some f -> f
+    | None ->
+      Alcotest.failf "Racy_chain.stats not flagged; findings: %s"
+        (String.concat ", " (List.map (fun f -> f.f_target) active))
+  in
+  Alcotest.(check string) "rule" "race-shared-mut" f.f_rule;
+  Alcotest.(check string) "file" "test/fixtures/race/racy_chain.ml" f.f_file;
+  Alcotest.(check bool) "rooted at record" true (List.mem "Racy_chain.record" f.f_roots);
+  let witness_has sub = List.exists (fun w -> contains w sub) f.f_witness in
+  Alcotest.(check bool) "witness passes through bump" true
+    (witness_has "calls Racy_chain.bump");
+  Alcotest.(check bool) "witness ends at the Hashtbl mutation" true
+    (witness_has "Hashtbl.replace");
+  (* the chain is root, one call hop, one mutation site *)
+  Alcotest.(check int) "witness length" 3 (List.length f.f_witness)
+
+let test_safe_clean () =
+  let open Sema.Race_report in
+  let r = Lazy.force fixture_result in
+  List.iter
+    (fun f ->
+      if contains f.f_file "safe_chain" then
+        Alcotest.failf "clean fixture flagged: %s at %s:%d" f.f_target f.f_file
+          f.f_line)
+    r.r_findings;
+  (* every finding in the fixture set comes from the seeded racy unit *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "finding file" "test/fixtures/race/racy_chain.ml" f.f_file)
+    (List.filter is_active r.r_findings)
+
+let test_deterministic_output () =
+  let render () =
+    let r = run_fixtures () in
+    Analysis.Json_out.to_string
+      (Sema.Race_report.report_json r ~new_keys:(Hashtbl.create 1))
+  in
+  Alcotest.(check string) "two runs render identically" (render ()) (render ())
+
+let test_findings_sorted () =
+  let open Sema.Race_report in
+  let r = Lazy.force fixture_result in
+  let keys =
+    List.map (fun f -> (f.f_file, f.f_line, f.f_rule, f.f_target)) r.r_findings
+  in
+  Alcotest.(check bool) "findings sorted by (file, line, rule)" true
+    (List.sort compare keys = keys)
+
+(* ----------------------- lattice properties ----------------------- *)
+
+let all_cls =
+  Sema.Race_lattice.[ Pure; Local_mut; Param_mut; Captured_mut; Shared_mut ]
+
+let all_args =
+  Sema.Race_lattice.[ A_local; A_param "p_0"; A_captured "c_0"; A_global "G.g" ]
+
+(* (n, own, edges, extra edge): a random abstract call graph plus one
+   candidate edge to add *)
+let graph_gen =
+  let open QCheck.Gen in
+  int_range 1 5 >>= fun n ->
+  array_size (return n) (oneofl all_cls) >>= fun own ->
+  list_size (int_range 0 8)
+    (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (oneofl all_args))
+  >>= fun edges ->
+  triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (oneofl all_args)
+  >>= fun extra -> return (n, own, edges, extra)
+
+let calls_of edges i =
+  List.filter_map (fun (src, dst, a) -> if src = i then Some (dst, a) else None) edges
+
+let pointwise_leq a b =
+  Array.for_all2
+    (fun x y -> Sema.Race_lattice.rank x <= Sema.Race_lattice.rank y)
+    a b
+
+let prop_edge_monotone =
+  QCheck.Test.make ~count:500 ~name:"solve: adding a call edge is monotone"
+    (QCheck.make graph_gen) (fun (n, own, edges, extra) ->
+      let solve edges =
+        Sema.Race_lattice.solve ~nodes:n
+          ~own:(fun i -> own.(i))
+          ~calls:(calls_of edges)
+      in
+      pointwise_leq (solve edges) (solve (extra :: edges)))
+
+let prop_own_monotone =
+  QCheck.Test.make ~count:500
+    ~name:"solve: raising an intrinsic footprint is monotone"
+    (QCheck.make graph_gen) (fun (n, own, edges, (m, _, _)) ->
+      let solve own_of =
+        Sema.Race_lattice.solve ~nodes:n ~own:own_of ~calls:(calls_of edges)
+      in
+      let raised i =
+        if i = m then Sema.Race_lattice.join own.(i) Sema.Race_lattice.Shared_mut
+        else own.(i)
+      in
+      pointwise_leq (solve (fun i -> own.(i))) (solve raised))
+
+let () =
+  Alcotest.run "race"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "fixture units load" `Quick test_fixtures_load;
+          Alcotest.test_case "racy chain flagged with witness" `Quick
+            test_racy_flagged;
+          Alcotest.test_case "guarded chain clean" `Quick test_safe_clean;
+          Alcotest.test_case "deterministic report" `Quick
+            test_deterministic_output;
+          Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+        ] );
+      ( "lattice",
+        [ qc prop_edge_monotone; qc prop_own_monotone ] );
+    ]

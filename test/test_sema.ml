@@ -16,10 +16,10 @@ open Experiments
 
 (* Findings are path-sensitive (the time-boundary whitelist), so pretend
    the snippet lives in an ordinary component module. *)
-let analyze ?(file = "lib/clove/snippet.ml") src = Sema.analyze_source ~file src
+let analyze ?(file = "lib/clove/snippet.ml") src = Sema.Rules.analyze_source ~file src
 
 let count_rule rule fs =
-  List.length (List.filter (fun f -> f.Sema.rule = rule) fs)
+  List.length (List.filter (fun f -> f.Sema.Rules.rule = rule) fs)
 
 let one rule src = check_int rule 1 (count_rule rule (analyze src))
 let none src = check_int "clean" 0 (List.length (analyze src))
@@ -161,7 +161,7 @@ let test_fixture_flagged () =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let fs = Sema.analyze_source ~file:"test/fixtures/order_dependent.ml" src in
+  let fs = Sema.Rules.analyze_source ~file:"test/fixtures/order_dependent.ml" src in
   List.iter
     (fun rule -> check_int rule 1 (count_rule rule fs))
     [
@@ -176,8 +176,8 @@ let test_fixture_flagged () =
   List.iter
     (fun f ->
       check_bool "finding names the fixture" true
-        (f.Sema.file = "test/fixtures/order_dependent.ml");
-      check_bool "finding carries a line" true (f.Sema.line > 0))
+        (f.Sema.Rules.file = "test/fixtures/order_dependent.ml");
+      check_bool "finding carries a line" true (f.Sema.Rules.line > 0))
     fs
 
 let test_module_graph () =
@@ -187,14 +187,14 @@ let test_module_graph () =
       ("lib/b/beta.ml", "let base = 2\nlet run x = x + base\nlet dead = 0\n");
     ]
   in
-  let infos = Sema.module_graph srcs in
+  let infos = Sema.Rules.module_graph srcs in
   check_int "two modules" 2 (List.length infos);
-  let alpha = List.find (fun i -> i.Sema.mi_module = "Alpha") infos in
-  let beta = List.find (fun i -> i.Sema.mi_module = "Beta") infos in
-  check_bool "alpha -> beta" true (alpha.Sema.mi_deps = [ "Beta" ]);
-  check_bool "beta has no deps" true (beta.Sema.mi_deps = []);
+  let alpha = List.find (fun i -> i.Sema.Rules.mi_module = "Alpha") infos in
+  let beta = List.find (fun i -> i.Sema.Rules.mi_module = "Beta") infos in
+  check_bool "alpha -> beta" true (alpha.Sema.Rules.mi_deps = [ "Beta" ]);
+  check_bool "beta has no deps" true (beta.Sema.Rules.mi_deps = []);
   let unused =
-    Sema.unused_exports ~ml_sources:srcs
+    Sema.Rules.unused_exports ~ml_sources:srcs
       ~mli_sources:
         [ ("lib/b/beta.mli", "val base : int\nval run : int -> int\nval dead : int\n") ]
   in
