@@ -1,0 +1,175 @@
+(* clove-alloc driver: load every .cmt under the build root, compute
+   the hot region reachable from the scheduler dispatch roots, report
+   each hot-region allocation site with a call-chain witness, and
+   compare against the committed allocation budget.
+
+   Usage:
+     clove_alloc [--cmt-root DIR]        build root ( default: _build/default
+                                         when present, else . )
+                 [--source-root DIR]     where the .cmt-recorded relative
+                                         source paths resolve (default .)
+                 [--scope PREFIX]*       source prefixes to analyze
+                                         (default: lib/)
+                 [--root NODE]*          extra dispatch roots by node id
+                 [--baseline FILE]       committed budget to diff against
+                 [--write-baseline FILE] regenerate the budget and exit
+                 [-o FILE]               JSON report (default
+                                         clove_alloc_report.json)
+                 [--sarif FILE]          also write a SARIF 2.1.0 artifact
+                 [--bench-out FILE]      wall-time/count record
+
+   Exit status: 0 clean (or only budgeted/suppressed/cold findings),
+   1 new hot-region allocation sites, 2 usage or environment error. *)
+
+let () =
+  let cmt_root = ref None in
+  let source_root = ref "." in
+  let scopes = ref [] in
+  let extra_roots = ref [] in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let report_path = ref "clove_alloc_report.json" in
+  let sarif_path = ref None in
+  let bench_path = ref None in
+  let usage () =
+    prerr_endline
+      "usage: clove_alloc [--cmt-root DIR] [--source-root DIR] [--scope PREFIX]* \
+       [--root NODE]* [--baseline FILE] [--write-baseline FILE] [-o FILE] \
+       [--sarif FILE] [--bench-out FILE]";
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--cmt-root" :: dir :: rest ->
+      cmt_root := Some dir;
+      parse_args rest
+    | "--source-root" :: dir :: rest ->
+      source_root := dir;
+      parse_args rest
+    | "--scope" :: prefix :: rest ->
+      scopes := prefix :: !scopes;
+      parse_args rest
+    | "--root" :: node :: rest ->
+      extra_roots := node :: !extra_roots;
+      parse_args rest
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
+      parse_args rest
+    | "--write-baseline" :: path :: rest ->
+      write_baseline := Some path;
+      parse_args rest
+    | "-o" :: path :: rest ->
+      report_path := path;
+      parse_args rest
+    | "--sarif" :: path :: rest ->
+      sarif_path := Some path;
+      parse_args rest
+    | "--bench-out" :: path :: rest ->
+      bench_path := Some path;
+      parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let cmt_root =
+    match !cmt_root with Some d -> d | None -> Sema.Cmt_load.default_root ()
+  in
+  let scopes = match List.rev !scopes with [] -> [ "lib/" ] | s -> s in
+  (* lint: allow sema-wall-clock — analyzer harness timing, not simulation time *)
+  let t0 = Unix.gettimeofday () in
+  let units = Sema.Cmt_load.load ~root:cmt_root ~source_prefixes:scopes in
+  if units = [] then begin
+    Format.eprintf
+      "clove-alloc: no .cmt files under '%s' for scope(s) %s — build with \
+       -bin-annot first@."
+      cmt_root
+      (String.concat " " scopes);
+    exit 2
+  end;
+  let result =
+    Sema.Alloc_report.run ~source_root:!source_root
+      ~extra_roots:(List.rev !extra_roots) units
+  in
+  (* lint: allow sema-wall-clock — analyzer harness timing, not simulation time *)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let active =
+    List.filter Sema.Alloc_report.is_active result.Sema.Alloc_report.a_findings
+  in
+  (match !write_baseline with
+  | Some path ->
+    Analysis.Json_out.to_file path (Sema.Alloc_report.baseline_json result);
+    Format.printf "clove-alloc: baseline written to %s (%d entr%s)@." path
+      (List.length active)
+      (if List.length active = 1 then "y" else "ies");
+    exit 0
+  | None -> ());
+  let baseline_keys =
+    match !baseline with
+    | None -> Hashtbl.create 1
+    | Some path -> (
+      match Sema.Alloc_report.load_baseline path with
+      | Ok keys -> keys
+      | Error e ->
+        Format.eprintf "clove-alloc: cannot read baseline %s: %s@." path e;
+        exit 2)
+  in
+  let fresh = Sema.Alloc_report.new_findings result baseline_keys in
+  let new_keys = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace new_keys (Sema.Alloc_report.finding_key f) ())
+    fresh;
+  Analysis.Json_out.to_file !report_path
+    (Sema.Alloc_report.report_json result ~new_keys);
+  (match !sarif_path with
+  | Some path ->
+    Analysis.Json_out.to_file path (Sema.Alloc_report.sarif result ~new_keys)
+  | None -> ());
+  (match !bench_path with
+  | Some path ->
+    let open Analysis.Json_out in
+    let s = result.Sema.Alloc_report.a_stats in
+    to_file path
+      (Obj
+         [
+           ("benchmark", String "clove-alloc");
+           ("wall_s", Float wall_s);
+           ("units", Int s.Sema.Alloc_report.st_units);
+           ("nodes", Int s.Sema.Alloc_report.st_nodes);
+           ("hot_nodes", Int s.Sema.Alloc_report.st_hot_nodes);
+           ("dispatch_roots", Int s.Sema.Alloc_report.st_roots);
+           ("sites_total", Int s.Sema.Alloc_report.st_sites_total);
+           ("sites_cold", Int s.Sema.Alloc_report.st_sites_cold);
+           ( "per_kind",
+             Obj
+               (List.map
+                  (fun (k, n) -> (k, Int n))
+                  result.Sema.Alloc_report.a_per_kind) );
+           ("findings", Int (List.length active));
+           ( "suppressed",
+             Int
+               (List.length result.Sema.Alloc_report.a_findings
+               - List.length active) );
+           ("new_findings", Int (List.length fresh));
+         ])
+  | None -> ());
+  (* only *new* sites are printed in full — the budgeted ones are in
+     the report *)
+  List.iter
+    (fun (f : Analysis.Findings.t) ->
+      Format.eprintf "%s:%d: [%s, NEW] %s@." f.Analysis.Findings.file
+        f.Analysis.Findings.line f.Analysis.Findings.rule
+        f.Analysis.Findings.message;
+      List.iter
+        (fun w -> Format.eprintf "    %s@." w)
+        f.Analysis.Findings.witness)
+    fresh;
+  let s = result.Sema.Alloc_report.a_stats in
+  Format.printf
+    "clove-alloc: %d unit(s), %d node(s), %d hot (%d root(s)); %d site(s) (%d \
+     cold), %d finding(s) (%d suppressed, %d new); report: %s@."
+    s.Sema.Alloc_report.st_units s.Sema.Alloc_report.st_nodes
+    s.Sema.Alloc_report.st_hot_nodes s.Sema.Alloc_report.st_roots
+    s.Sema.Alloc_report.st_sites_total s.Sema.Alloc_report.st_sites_cold
+    (List.length active)
+    (List.length result.Sema.Alloc_report.a_findings - List.length active)
+    (List.length fresh) !report_path;
+  if fresh <> [] then exit 1

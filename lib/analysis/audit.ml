@@ -1,3 +1,5 @@
+(* race-allow-file: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
+
 type violation = { invariant : string; detail : string }
 
 exception Violation of string
@@ -14,9 +16,7 @@ let viols : violation list ref = ref []
 let n_viols = ref 0
 
 let record_violation ~invariant ~detail =
-  (* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
   incr n_viols;
-  (* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
   if !n_viols <= max_kept then viols := { invariant; detail } :: !viols;
   if !strict then raise (Violation (invariant ^ ": " ^ detail))
 
@@ -31,18 +31,14 @@ let n_delivered = ref 0
 let n_dropped = ref 0
 let drops : (string, int ref) Hashtbl.t = Hashtbl.create 8
 
-(* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
 let note_injected () = if !on then incr n_injected
-(* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
 let note_delivered () = if !on then incr n_delivered
 
 let note_dropped ~reason =
   if !on then begin
-    (* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
     incr n_dropped;
     match Hashtbl.find_opt drops reason with
     | Some r -> incr r
-    (* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
     | None -> Hashtbl.replace drops reason (ref 1)
   end
 
@@ -79,7 +75,6 @@ let note_clock ~clock_id ~now_ns =
           (Printf.sprintf "scheduler %d: clock moved %dns -> %dns" clock_id
              last now_ns)
     | Some _ | None -> ());
-    (* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
     Hashtbl.replace clocks clock_id now_ns
   end
 
@@ -114,7 +109,6 @@ let fifo_rx ~stream ~port ~seq =
                "stream %#x port %d: seq %d arrived after seq %d" stream port
                seq !last)
       else last := seq
-    (* race-allow: audit state is serial by construction — mutations are gated on [!on] and every domain-parallel entry falls back to Array.map when the audit is enabled (sweep.ml, chaos.ml) *)
     | None -> Hashtbl.replace fifo_seen key (ref seq)
   end
 

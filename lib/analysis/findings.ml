@@ -1,0 +1,268 @@
+(* Shared findings emission for the static-analysis drivers.
+
+   clove-sema, clove-race and clove-alloc each produce findings with
+   the same lifecycle: deterministic sorted serialization, a committed
+   baseline keyed by (rule, file, target) — line numbers deliberately
+   excluded so unrelated edits do not churn it — a diff that fails CI
+   only on *new* keys, SARIF 2.1.0 emission, and source-comment
+   suppressions whose justification text is mandatory.  This module is
+   that one code path; the per-tool modules keep only their analysis
+   and convert into [t] at the edge. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  target : string;  (** stable identity within the file, line-free *)
+  message : string;
+  witness : string list;  (** rendered chain, root first; [] = none *)
+  extra : (string * Json_out.t) list;  (** tool-specific JSON fields *)
+  reason : string option;  (** suppression justification; [None] = active *)
+}
+
+let key f = f.rule ^ "|" ^ f.file ^ "|" ^ f.target
+
+let is_active f = f.reason = None
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.target b.target
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort fs = List.sort compare_finding fs
+
+(* ------------------------- source markers ------------------------- *)
+
+(* Suppressions are plain comments in the analyzed sources, e.g.
+   [(* race-allow: reason *)] on the flagged line or the line above,
+   or a file-scoped [(* race-allow-file: reason *)] anywhere.  The
+   cache is per-process; drivers reset it per run. *)
+
+let source_cache : (string, string array) Hashtbl.t = Hashtbl.create 16
+
+let clear_source_cache () = Hashtbl.reset source_cache
+
+let lines_of ~source_root file =
+  let path = Filename.concat source_root file in
+  match Hashtbl.find_opt source_cache path with
+  | Some ls -> Some ls
+  | None -> (
+    match open_in path with
+    | exception Sys_error _ -> None
+    | ic ->
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line ic :: !acc
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let ls = Array.of_list (List.rev !acc) in
+      Hashtbl.replace source_cache path ls;
+      Some ls)
+
+let find_substring ~needle line start =
+  let n = String.length line and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = needle then Some i
+    else go (i + 1)
+  in
+  go start
+
+(* the marker's reason text: everything after the marker, trimmed at
+   the closing comment delimiter *)
+let reason_on_line ~marker line =
+  match find_substring ~needle:marker line 0 with
+  | None -> None
+  | Some i ->
+    let start = i + String.length marker in
+    let rest = String.sub line start (String.length line - start) in
+    let rest =
+      match find_substring ~needle:"*)" rest 0 with
+      | Some stop -> String.sub rest 0 stop
+      | None -> rest
+    in
+    Some (String.trim rest)
+
+let allow_at ~marker ~source_root file line =
+  match lines_of ~source_root file with
+  | None -> None
+  | Some ls ->
+    let check idx =
+      if idx < 0 || idx >= Array.length ls then None
+      else reason_on_line ~marker ls.(idx)
+    in
+    (match check (line - 1) with Some r -> Some r | None -> check (line - 2))
+
+let allow_file ~marker ~source_root file =
+  match lines_of ~source_root file with
+  | None -> None
+  | Some ls ->
+    let rec go idx =
+      if idx >= Array.length ls then None
+      else
+        match reason_on_line ~marker ls.(idx) with
+        | Some r -> Some (idx + 1, r)
+        | None -> go (idx + 1)
+    in
+    go 0
+
+(* ----------------------------- baseline --------------------------- *)
+
+let baseline_json ~tool fs =
+  Json_out.(
+    Obj
+      [
+        ("tool", String tool);
+        ("version", Int 1);
+        ( "entries",
+          List
+            (List.filter_map
+               (fun f ->
+                 if is_active f then
+                   Some
+                     (Obj
+                        [
+                          ("rule", String f.rule);
+                          ("file", String f.file);
+                          ("target", String f.target);
+                        ])
+                 else None)
+               (sort fs)) );
+      ])
+
+(* keys present in a committed baseline file; [Error] on parse trouble
+   so CI fails loudly rather than treating everything as new *)
+let load_baseline path =
+  match Json_in.of_file path with
+  | Error e -> Error e
+  | Ok json -> (
+    match Option.bind (Json_in.member "entries" json) Json_in.to_list with
+    | None -> Error "baseline has no \"entries\" array"
+    | Some entries ->
+      let keys = Hashtbl.create 32 in
+      List.iter
+        (fun entry ->
+          let field k = Option.bind (Json_in.member k entry) Json_in.to_string_opt in
+          match (field "rule", field "file", field "target") with
+          | Some rule, Some file, Some target ->
+            Hashtbl.replace keys (rule ^ "|" ^ file ^ "|" ^ target) ()
+          | _ -> ())
+        entries;
+      Ok keys)
+
+let new_findings fs baseline_keys =
+  List.filter (fun f -> is_active f && not (Hashtbl.mem baseline_keys (key f))) fs
+
+let key_table fs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace tbl (key f) ()) fs;
+  tbl
+
+(* ------------------------------ output ---------------------------- *)
+
+let finding_json ~new_keys f =
+  Json_out.(
+    Obj
+      ([
+         ("rule", String f.rule);
+         ("file", String f.file);
+         ("line", Int f.line);
+         ("target", String f.target);
+         ("message", String f.message);
+       ]
+      @ f.extra
+      @ [
+          ("witness", List (List.map (fun w -> String w) f.witness));
+          ("suppressed", Bool (not (is_active f)));
+          ("reason", match f.reason with Some r -> String r | None -> Null);
+          ("new", Bool (Hashtbl.mem new_keys (key f)));
+        ]))
+
+let findings_json ~new_keys fs =
+  Json_out.List (List.map (finding_json ~new_keys) (sort fs))
+
+let sarif ~tool ~rules ~new_keys fs =
+  Json_out.(
+    let results =
+      List.filter_map
+        (fun f ->
+          if is_active f then
+            Some
+              (Obj
+                 [
+                   ("ruleId", String f.rule);
+                   ( "level",
+                     String
+                       (if Hashtbl.mem new_keys (key f) then "error" else "warning")
+                   );
+                   ( "message",
+                     Obj
+                       [
+                         ( "text",
+                           String
+                             (if f.witness = [] then f.message
+                              else
+                                Printf.sprintf "%s; witness: %s" f.message
+                                  (String.concat " ; " f.witness)) );
+                       ] );
+                   ( "locations",
+                     List
+                       [
+                         Obj
+                           [
+                             ( "physicalLocation",
+                               Obj
+                                 [
+                                   ( "artifactLocation",
+                                     Obj [ ("uri", String f.file) ] );
+                                   ( "region",
+                                     Obj [ ("startLine", Int f.line) ] );
+                                 ] );
+                           ];
+                       ] );
+                 ])
+          else None)
+        (sort fs)
+    in
+    Obj
+      [
+        ("version", String "2.1.0");
+        ("$schema", String "https://json.schemastore.org/sarif-2.1.0.json");
+        ( "runs",
+          List
+            [
+              Obj
+                [
+                  ( "tool",
+                    Obj
+                      [
+                        ( "driver",
+                          Obj
+                            [
+                              ("name", String tool);
+                              ("version", String "1.0.0");
+                              ( "rules",
+                                List
+                                  (List.map
+                                     (fun (id, desc) ->
+                                       Obj
+                                         [
+                                           ("id", String id);
+                                           ( "shortDescription",
+                                             Obj [ ("text", String desc) ] );
+                                         ])
+                                     rules) );
+                            ] );
+                      ] );
+                  ("results", List results);
+                ];
+            ] );
+      ])

@@ -1,0 +1,70 @@
+(** Shared findings emission for the static-analysis drivers
+    (clove-sema, clove-race, clove-alloc): one finding record, sorted
+    deterministic serialization, SARIF 2.1.0, committed-baseline
+    load/diff, and source-comment suppression scanning. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  target : string;  (** stable identity within the file, line-free *)
+  message : string;
+  witness : string list;  (** rendered chain, root first; [[]] = none *)
+  extra : (string * Json_out.t) list;  (** tool-specific JSON fields *)
+  reason : string option;  (** suppression justification; [None] = active *)
+}
+
+val key : t -> string
+(** Baseline identity: ["rule|file|target"].  Line numbers are
+    deliberately excluded so unrelated edits do not churn committed
+    baselines. *)
+
+val is_active : t -> bool
+(** Not suppressed by a justified allow-comment. *)
+
+val sort : t list -> t list
+(** By (file, line, rule, target) — the one artifact order. *)
+
+(** {2 Source-comment suppressions} *)
+
+val clear_source_cache : unit -> unit
+(** Drop the per-process source-line cache; call once per run. *)
+
+val allow_at :
+  marker:string -> source_root:string -> string -> int -> string option
+(** [Some reason] (possibly empty) when the given line or the line
+    above it carries a [(* <marker> reason *)] comment.  [marker]
+    includes the trailing colon, e.g. ["race-allow:"]. *)
+
+val allow_file :
+  marker:string -> source_root:string -> string -> (int * string) option
+(** First file-scoped marker anywhere in the file, as
+    [(line, reason)]. *)
+
+(** {2 Baseline} *)
+
+val baseline_json : tool:string -> t list -> Json_out.t
+(** Baseline file content: the active findings' identity keys. *)
+
+val load_baseline : string -> ((string, unit) Hashtbl.t, string) result
+(** Keys of a committed baseline; [Error] on parse trouble so CI fails
+    loudly rather than treating everything as new. *)
+
+val new_findings : t list -> (string, unit) Hashtbl.t -> t list
+(** Active findings whose identity key is not in the baseline. *)
+
+val key_table : t list -> (string, unit) Hashtbl.t
+
+(** {2 Output} *)
+
+val finding_json : new_keys:(string, unit) Hashtbl.t -> t -> Json_out.t
+val findings_json : new_keys:(string, unit) Hashtbl.t -> t list -> Json_out.t
+
+val sarif :
+  tool:string ->
+  rules:(string * string) list ->
+  new_keys:(string, unit) Hashtbl.t ->
+  t list ->
+  Json_out.t
+(** SARIF 2.1.0: active findings only, level ["error"] for new keys,
+    ["warning"] otherwise. *)

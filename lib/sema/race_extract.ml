@@ -41,6 +41,42 @@ let compare_site a b =
   | 0 -> Int.compare a.s_line b.s_line
   | c -> c
 
+(* Allocation sites, recorded during the same walk so each site is
+   attributed to the call-graph node whose body performs it (a
+   line-range reattribution after the fact would misfile closures).
+   clove-alloc consumes these; clove-race ignores them. *)
+type alloc_kind =
+  | K_closure
+  | K_partial
+  | K_tuple
+  | K_record
+  | K_variant
+  | K_option
+  | K_cons
+  | K_float
+  | K_array
+  | K_string
+  | K_poly
+  | K_format
+  | K_ref
+
+let alloc_kind_slug = function
+  | K_closure -> "closure"
+  | K_partial -> "partial-app"
+  | K_tuple -> "tuple"
+  | K_record -> "record"
+  | K_variant -> "variant"
+  | K_option -> "option"
+  | K_cons -> "cons"
+  | K_float -> "boxed-float"
+  | K_array -> "array"
+  | K_string -> "string"
+  | K_poly -> "poly-compare"
+  | K_format -> "format"
+  | K_ref -> "ref"
+
+type alloc_site = { al_kind : alloc_kind; al_desc : string; al_site : site }
+
 type effect_site = {
   ef_target : arg_class;
   ef_prim : string;
@@ -51,6 +87,7 @@ type effect_site = {
 type callee_ref =
   | C_stamp of string  (** same-unit ident, keyed by [Ident.unique_name] *)
   | C_name of string * string  (** (short module, value) *)
+  | C_node of string  (** already-resolved node id (spawned closures) *)
 
 type call_site = {
   cs_callee : callee_ref;
@@ -65,6 +102,7 @@ type node = {
   mutable n_effects : effect_site list;
   mutable n_calls : call_site list;
   mutable n_takes_lock : bool;
+  mutable n_allocs : alloc_site list;  (** reverse source order *)
   mutable n_param_order : (Asttypes.arg_label * string list) list;
       (** outer [fun]-chain parameters in application order; each entry
           is the label plus the unique names its pattern binds *)
@@ -78,6 +116,8 @@ type program = {
   p_nodes : (string, node) Hashtbl.t;
   mutable p_roots : (callee_ref option * string option * site) list;
       (** (unresolved task ref, resolved node id, spawn site) *)
+  mutable p_dispatch : (callee_ref option * string option * site) list;
+      (** likewise for scheduler dispatch-kind handlers *)
   mutable p_files : string list;
 }
 
@@ -119,10 +159,21 @@ let unprotected_mutators =
         ("clear", 0); ("transfer", 0) ] );
     ("Stack", [ ("push", 0); ("pop", 0); ("pop_opt", 0); ("clear", 0) ]);
     ( "Array",
-      [ ("set", 0); ("unsafe_set", 0); ("fill", 0); ("blit", 2); ("sort", 1) ] );
-    ("Bytes", [ ("set", 0); ("unsafe_set", 0); ("fill", 0); ("blit", 2) ]);
+      [ ("set", 0); ("unsafe_set", 0); ("fill", 0); ("blit", 2); ("sort", 1);
+        ("fast_sort", 1); ("stable_sort", 1) ] );
+    ( "Bytes",
+      [ ("set", 0); ("unsafe_set", 0); ("fill", 0); ("blit", 2);
+        ("blit_string", 2) ] );
     ("Buffer", [ ("clear", 0); ("reset", 0); ("truncate", 0) ]);
     ("Stdlib", [ (":=", 0); ("incr", 0); ("decr", 0) ]);
+    (* repo-local mutable structures on the event path; Event_queue and
+       Timer_wheel are plain records of arrays, every entry point below
+       rewrites them in place *)
+    ( "Event_queue",
+      [ ("add", 0); ("add_at_ns", 0); ("pop", 0); ("pop_unsafe", 0);
+        ("compact", 0) ] );
+    ( "Timer_wheel",
+      [ ("add", 0); ("advance", 0); ("advance_next", 0); ("compact", 0) ] );
   ]
 
 let atomic_mutators = [ "set"; "exchange"; "compare_and_set"; "fetch_and_add"; "incr"; "decr" ]
@@ -153,6 +204,13 @@ let parallel_entries =
     (("Thread", "create"), 0);
   ]
 
+(* (module, function) -> 0-based positional index of the handler.  A
+   closure registered as a scheduler dispatch kind becomes its own node
+   so the hot-region analysis can root there, while a call edge from
+   the registering function is kept so the race fixpoint still re-roots
+   whatever the closure captured from the creator's scope. *)
+let dispatch_entries = [ (("Scheduler", "register_kind"), 1) ]
+
 (* ----------------------------- context ---------------------------- *)
 
 type ctx = {
@@ -163,6 +221,10 @@ type ctx = {
   mutable cur : node;
   mutable params : (string, unit) Hashtbl.t;
   mutable locals : (string, unit) Hashtbl.t;
+  mutable chain : Typedtree.expression list;
+      (* the current node's own outer [fun]-chain expressions, by
+         physical identity: currying a function is not a per-call
+         closure allocation of that function *)
 }
 
 let fresh_node prog ~id ~site ~is_init =
@@ -180,6 +242,7 @@ let fresh_node prog ~id ~site ~is_init =
       n_effects = [];
       n_calls = [];
       n_takes_lock = false;
+      n_allocs = [];
       n_param_order = [];
       n_params = Hashtbl.create 16;
       n_locals = Hashtbl.create 16;
@@ -280,6 +343,161 @@ let ref_of_path p =
     match suffix2 p with Some (m, v) -> Some (C_name (m, v)) | None -> None)
   | _ -> None
 
+(* ---------------------- allocation classification ----------------- *)
+
+let rec type_head ty =
+  match Types.get_desc ty with
+  | Types.Tpoly (ty', _) -> type_head ty'
+  | d -> d
+
+let is_arrow_ty ty = match type_head ty with Types.Tarrow _ -> true | _ -> false
+
+let path_is ty p =
+  match type_head ty with
+  | Types.Tconstr (q, _, _) -> Path.same q p
+  | _ -> false
+
+let is_float_ty ty = path_is ty Predef.path_float
+
+(* types whose values are unboxed words: comparing or hashing them
+   never walks or allocates *)
+let is_immediate_ty ty =
+  path_is ty Predef.path_int || path_is ty Predef.path_bool
+  || path_is ty Predef.path_char || path_is ty Predef.path_unit
+
+let format_fns =
+  [
+    ("Printf", "sprintf"); ("Printf", "printf"); ("Printf", "eprintf");
+    ("Printf", "fprintf"); ("Printf", "bprintf"); ("Printf", "ksprintf");
+    ("Format", "sprintf"); ("Format", "asprintf"); ("Format", "printf");
+    ("Format", "eprintf"); ("Format", "fprintf");
+  ]
+
+let string_builders =
+  [
+    ("Stdlib", "^"); ("Stdlib", "string_of_int"); ("Stdlib", "string_of_float");
+    ("Stdlib", "string_of_bool"); ("String", "concat"); ("String", "make");
+    ("String", "init"); ("String", "sub"); ("String", "map"); ("String", "cat");
+    ("Bytes", "create"); ("Bytes", "make"); ("Bytes", "sub"); ("Bytes", "copy");
+    ("Bytes", "extend"); ("Bytes", "cat"); ("Bytes", "to_string");
+    ("Bytes", "of_string"); ("Buffer", "contents");
+  ]
+
+(* calls that allocate their result by contract, keyed like the mutator
+   table; the open-ended List/Array producers cover what lib/ uses *)
+let alloc_calls =
+  [
+    (("Stdlib", "ref"), (K_ref, "ref cell"));
+    (("Atomic", "make"), (K_ref, "Atomic.make"));
+    (("Hashtbl", "create"), (K_record, "Hashtbl.create"));
+    (("Hashtbl", "copy"), (K_record, "Hashtbl.copy"));
+    (("Queue", "create"), (K_record, "Queue.create"));
+    (("Buffer", "create"), (K_record, "Buffer.create"));
+    (("Array", "make"), (K_array, "Array.make"));
+    (("Array", "init"), (K_array, "Array.init"));
+    (("Array", "copy"), (K_array, "Array.copy"));
+    (("Array", "append"), (K_array, "Array.append"));
+    (("Array", "concat"), (K_array, "Array.concat"));
+    (("Array", "sub"), (K_array, "Array.sub"));
+    (("Array", "of_list"), (K_array, "Array.of_list"));
+    (("Array", "map"), (K_array, "Array.map"));
+    (("Array", "mapi"), (K_array, "Array.mapi"));
+    (("Array", "make_matrix"), (K_array, "Array.make_matrix"));
+    (("Array", "to_list"), (K_cons, "Array.to_list"));
+    (("List", "map"), (K_cons, "List.map"));
+    (("List", "mapi"), (K_cons, "List.mapi"));
+    (("List", "init"), (K_cons, "List.init"));
+    (("List", "append"), (K_cons, "List.append"));
+    (("List", "concat"), (K_cons, "List.concat"));
+    (("List", "concat_map"), (K_cons, "List.concat_map"));
+    (("List", "rev"), (K_cons, "List.rev"));
+    (("List", "rev_append"), (K_cons, "List.rev_append"));
+    (("List", "filter"), (K_cons, "List.filter"));
+    (("List", "filter_map"), (K_cons, "List.filter_map"));
+    (("List", "sort"), (K_cons, "List.sort"));
+    (("List", "stable_sort"), (K_cons, "List.stable_sort"));
+    (("List", "sort_uniq"), (K_cons, "List.sort_uniq"));
+    (("Option", "map"), (K_option, "Option.map"));
+    (("Option", "some"), (K_option, "Option.some"));
+  ]
+
+let poly_compare_fns =
+  [ "compare"; "="; "<>"; "<"; ">"; "<="; ">="; "min"; "max" ]
+
+(* classify [e] as an allocation site of the current node, if it is
+   one.  Closure literals that are the node's own outer [fun]-chain
+   (tracked by physical identity in [ctx.chain]) are the function
+   itself, not a per-call allocation.  Float results and polymorphic
+   comparisons are over-approximations: a float-returning call boxes
+   unless the compiler unboxes locally, and comparing a non-immediate
+   type walks (and may box) — both are exactly the hazards the hot
+   path is supposed to avoid, so the noise is the signal. *)
+let record_alloc ctx (e : Typedtree.expression) =
+  let open Typedtree in
+  if ctx.cur.n_id <> "<pre>" then begin
+    let add kind desc =
+      ctx.cur.n_allocs <-
+        { al_kind = kind; al_desc = desc; al_site = site_of ctx e }
+        :: ctx.cur.n_allocs
+    in
+    match e.exp_desc with
+    | Texp_function _ ->
+      if not (List.memq e ctx.chain) then add K_closure "closure literal"
+    | Texp_tuple _ -> add K_tuple "tuple"
+    | Texp_record { fields; _ } ->
+      let tyname =
+        match type_head e.exp_type with
+        | Types.Tconstr (p, _, _) -> Path.last p
+        | _ -> "?"
+      in
+      add K_record (Printf.sprintf "record %s (%d fields)" tyname (Array.length fields))
+    | Texp_construct (_, cstr, args) when args <> [] -> (
+      match cstr.Types.cstr_name with
+      | "Some" -> add K_option "Some"
+      | "::" -> add K_cons "list cons"
+      | name -> add K_variant ("constructor " ^ name))
+    | Texp_array (_ :: _) -> add K_array "array literal"
+    | Texp_apply (fn, args) -> (
+      let callee =
+        match fn.exp_desc with Texp_ident (p, _, _) -> suffix2 p | _ -> None
+      in
+      let callee_name =
+        match callee with
+        | Some ("Stdlib", v) -> v
+        | Some (m, v) -> m ^ "." ^ v
+        | None -> "<expr>"
+      in
+      let first_positional =
+        List.find_map
+          (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+          args
+      in
+      match callee with
+      | Some mv when List.mem mv format_fns ->
+        add K_format ("format call " ^ callee_name)
+      | Some mv when List.mem mv string_builders ->
+        add K_string ("string build " ^ callee_name)
+      | Some mv when List.mem_assoc mv alloc_calls ->
+        let kind, desc = List.assoc mv alloc_calls in
+        add kind desc
+      | Some ("Stdlib", v) when List.mem v poly_compare_fns -> (
+        match first_positional with
+        | Some a when not (is_immediate_ty a.exp_type) ->
+          add K_poly ("polymorphic " ^ v)
+        | _ -> ())
+      | Some ("Hashtbl", ("hash" | "hash_param")) -> (
+        match first_positional with
+        | Some a when not (is_immediate_ty a.exp_type) ->
+          add K_poly "polymorphic Hashtbl.hash"
+        | _ -> ())
+      | _ ->
+        if is_arrow_ty e.exp_type then
+          add K_partial ("partial application of " ^ callee_name)
+        else if is_float_ty e.exp_type && callee <> Some ("Stdlib", "!") then
+          add K_float ("float result of " ^ callee_name))
+    | _ -> ()
+  end
+
 let rec make_iterator ctx =
   let it = ref Tast_iterator.default_iterator in
   let expr _self e = handle ctx !it e in
@@ -293,6 +511,7 @@ and visit ctx e =
 and handle ctx it e =
   let open Typedtree in
   let sub e' = it.Tast_iterator.expr it e' in
+  record_alloc ctx e;
   match e.exp_desc with
   | Texp_function { cases; _ } ->
     List.iter
@@ -339,11 +558,16 @@ and handle_binding ctx it vb =
   let open Typedtree in
   match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
   | Tpat_var (id, _), Texp_function _ ->
+    let site = { s_file = ctx.file; s_line = line_of vb.vb_expr } in
+    (* the nested function is its own node, but its closure is still
+       built each time the enclosing function runs *)
+    ctx.cur.n_allocs <-
+      { al_kind = K_closure;
+        al_desc = "local fun " ^ Ident.name id;
+        al_site = site }
+      :: ctx.cur.n_allocs;
     let node =
-      spawn_node ctx
-        ~id:(ctx.cur.n_id ^ "." ^ Ident.name id)
-        ~site:{ s_file = ctx.file; s_line = line_of vb.vb_expr }
-        vb.vb_expr
+      spawn_node ctx ~id:(ctx.cur.n_id ^ "." ^ Ident.name id) ~site vb.vb_expr
     in
     Hashtbl.replace ctx.stamp_nodes (Ident.unique_name id) node.n_id;
     (* the name is an ordinary value afterwards; passing it around
@@ -355,10 +579,13 @@ and handle_binding ctx it vb =
 
 (* record the outer [fun]-chain of [e] in application order: stops at
    the first multi-case [function] (whose scrutinee is the last
-   parameter) or non-function body *)
-and peel_param_order node (e : Typedtree.expression) =
+   parameter) or non-function body.  The chain expressions are also
+   remembered (by physical identity) so [record_alloc] does not count
+   the node's own currying as closure allocations. *)
+and peel_param_order ctx node (e : Typedtree.expression) =
   match e.Typedtree.exp_desc with
   | Typedtree.Texp_function { arg_label; cases; _ } -> (
+    ctx.chain <- e :: ctx.chain;
     let unames =
       List.concat_map
         (fun c -> List.map Ident.unique_name (pat_idents c.Typedtree.c_lhs))
@@ -366,22 +593,27 @@ and peel_param_order node (e : Typedtree.expression) =
     in
     node.n_param_order <- node.n_param_order @ [ (arg_label, unames) ];
     match cases with
-    | [ c ] when c.Typedtree.c_guard = None -> peel_param_order node c.Typedtree.c_rhs
+    | [ c ] when c.Typedtree.c_guard = None -> peel_param_order ctx node c.Typedtree.c_rhs
     | _ -> ())
   | _ -> ()
 
 (* walk [fn_expr] as its own node; restores the enclosing context *)
 and spawn_node ctx ~id ~site fn_expr =
-  let saved_cur = ctx.cur and saved_params = ctx.params and saved_locals = ctx.locals in
+  let saved_cur = ctx.cur
+  and saved_params = ctx.params
+  and saved_locals = ctx.locals
+  and saved_chain = ctx.chain in
   let node = fresh_node ctx.prog ~id ~site ~is_init:false in
   ctx.cur <- node;
   ctx.params <- node.n_params;
   ctx.locals <- node.n_locals;
-  peel_param_order node fn_expr;
+  ctx.chain <- [];
+  peel_param_order ctx node fn_expr;
   visit ctx fn_expr;
   ctx.cur <- saved_cur;
   ctx.params <- saved_params;
   ctx.locals <- saved_locals;
+  ctx.chain <- saved_chain;
   node
 
 and handle_apply ctx it e p args =
@@ -432,7 +664,10 @@ and handle_apply ctx it e p args =
       end
       else (
         match List.assoc_opt (m, v) parallel_entries with
-        | None -> plain_call ()
+        | None ->
+          if List.mem_assoc (m, v) dispatch_entries then
+            handle_dispatch ctx it e m v args
+          else plain_call ()
         | Some task_idx -> (
           let positionals =
             List.filter_map
@@ -458,8 +693,69 @@ and handle_apply ctx it e p args =
                   ~site:spawn_site task
               in
               ctx.prog.p_roots <- (None, Some node.n_id, spawn_site) :: ctx.prog.p_roots;
+              (* the task closure itself is built in the spawning
+                 function, once per spawn *)
+              ctx.cur.n_allocs <-
+                { al_kind = K_closure;
+                  al_desc = "parallel task closure";
+                  al_site = spawn_site }
+                :: ctx.cur.n_allocs;
               visit_args [ task ]
             | _ -> visit_args []))))
+
+and handle_dispatch ctx it e m v args =
+  let open Typedtree in
+  let visit_args skip =
+    List.iter
+      (fun (_, arg) ->
+        match arg with
+        | Some a when not (List.memq a skip) -> it.Tast_iterator.expr it a
+        | _ -> ())
+      args
+  in
+  let positionals =
+    List.filter_map
+      (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+      args
+  in
+  let task_idx = List.assoc (m, v) dispatch_entries in
+  match List.nth_opt positionals task_idx with
+  | None -> visit_args []
+  | Some task -> (
+    let spawn_site = site_of ctx e in
+    match task.exp_desc with
+    | Texp_ident (tp, _, _) ->
+      (* a named handler: the function itself is the dispatch root *)
+      ctx.prog.p_dispatch <-
+        (ref_of_path tp, None, spawn_site) :: ctx.prog.p_dispatch;
+      visit_args []
+    | Texp_apply ({ exp_desc = Texp_ident (tp, _, _); _ }, _) ->
+      (* partially applied handler, e.g. [register_kind s (on_event t)] *)
+      ctx.prog.p_dispatch <-
+        (ref_of_path tp, None, spawn_site) :: ctx.prog.p_dispatch;
+      visit_args []
+    | Texp_function _ ->
+      let node =
+        spawn_node ctx
+          ~id:(Printf.sprintf "%s.<kind@%d>" ctx.cur.n_id spawn_site.s_line)
+          ~site:spawn_site task
+      in
+      ctx.prog.p_dispatch <-
+        (None, Some node.n_id, spawn_site) :: ctx.prog.p_dispatch;
+      (* unlike a parallel task, the handler runs on the registering
+         task's own domain: keep a call edge so the race fixpoint
+         re-roots its captures through the creator, and charge the
+         creator for building the closure (once per registration) *)
+      ctx.cur.n_calls <-
+        { cs_callee = C_node node.n_id; cs_args = []; cs_site = spawn_site }
+        :: ctx.cur.n_calls;
+      ctx.cur.n_allocs <-
+        { al_kind = K_closure;
+          al_desc = "dispatch handler closure";
+          al_site = spawn_site }
+        :: ctx.cur.n_allocs;
+      visit_args [ task ]
+    | _ -> visit_args [])
 
 (* ------------------------- structure walk ------------------------- *)
 
@@ -501,14 +797,19 @@ let init_node ctx prefix =
   | None -> fresh_node ctx.prog ~id ~site:{ s_file = ctx.file; s_line = 1 } ~is_init:true
 
 let under_node ctx node f =
-  let saved_cur = ctx.cur and saved_params = ctx.params and saved_locals = ctx.locals in
+  let saved_cur = ctx.cur
+  and saved_params = ctx.params
+  and saved_locals = ctx.locals
+  and saved_chain = ctx.chain in
   ctx.cur <- node;
   ctx.params <- node.n_params;
   ctx.locals <- node.n_locals;
+  ctx.chain <- [];
   f ();
   ctx.cur <- saved_cur;
   ctx.params <- saved_params;
-  ctx.locals <- saved_locals
+  ctx.locals <- saved_locals;
+  ctx.chain <- saved_chain
 
 let rec walk_structure ctx ~prefix (str : Typedtree.structure) =
   List.iter
@@ -563,6 +864,8 @@ type linked = {
   l_nodes : node list;  (** sorted by id *)
   l_calls : (string, linked_call list) Hashtbl.t;  (** node id -> resolved calls *)
   l_roots : (string * site) list;  (** (node id, spawn site), sorted *)
+  l_dispatch : (string * site) list;
+      (** (dispatch-handler node id, registration site), sorted *)
   l_files : string list;
 }
 
@@ -575,6 +878,7 @@ let extract_unit prog (u : Cmt_load.unit_info) =
       n_effects = [];
       n_calls = [];
       n_takes_lock = false;
+      n_allocs = [];
       n_param_order = [];
       n_params = Hashtbl.create 1;
       n_locals = Hashtbl.create 1;
@@ -589,6 +893,7 @@ let extract_unit prog (u : Cmt_load.unit_info) =
       cur = pre;
       params = pre.n_params;
       locals = pre.n_locals;
+      chain = [];
     }
   in
   collect_globals ctx ~prefix:u.Cmt_load.u_short u.Cmt_load.u_structure;
@@ -597,7 +902,9 @@ let extract_unit prog (u : Cmt_load.unit_info) =
   ctx.stamp_nodes
 
 let analyze units =
-  let prog = { p_nodes = Hashtbl.create 512; p_roots = []; p_files = [] } in
+  let prog =
+    { p_nodes = Hashtbl.create 512; p_roots = []; p_dispatch = []; p_files = [] }
+  in
   let per_unit = List.map (fun u -> (u, extract_unit prog u)) units in
   let nodes =
     Hashtbl.fold (fun _ n acc -> n :: acc) prog.p_nodes []
@@ -615,6 +922,7 @@ let analyze units =
   let resolve stamp_nodes = function
     | C_stamp key -> Hashtbl.find_opt stamp_nodes key
     | C_name (m, v) -> Hashtbl.find_opt by_name (m, v)
+    | C_node id -> if Hashtbl.mem prog.p_nodes id then Some id else None
   in
   (* resolve each node's calls with its own unit's stamp table; calls
      through locals, parameters or stored closures resolve to nothing
@@ -636,7 +944,7 @@ let analyze units =
                  (List.rev node.n_calls)))
         nodes)
     per_unit;
-  let roots =
+  let resolve_entries entries =
     List.filter_map
       (fun (r, direct, site) ->
         match direct with
@@ -653,14 +961,17 @@ let analyze units =
               (fun (_, stamps) ->
                 Option.map (fun id -> (id, site)) (Hashtbl.find_opt stamps key))
               per_unit
+          | Some (C_node id) ->
+            if Hashtbl.mem prog.p_nodes id then Some (id, site) else None
           | None -> None))
-      prog.p_roots
+      entries
     |> List.sort_uniq (fun (a, sa) (b, sb) ->
            match String.compare a b with 0 -> compare_site sa sb | c -> c)
   in
   {
     l_nodes = nodes;
     l_calls = calls;
-    l_roots = roots;
+    l_roots = resolve_entries prog.p_roots;
+    l_dispatch = resolve_entries prog.p_dispatch;
     l_files = List.sort String.compare prog.p_files;
   }

@@ -12,6 +12,33 @@ type site = { s_file : string; s_line : int }
 
 val compare_site : site -> site -> int
 
+(** Allocation sites, recorded during the same walk and attributed to
+    the node whose body performs them.  [K_partial] and [K_float] are
+    deliberate over-approximations (a partial application always
+    allocates; a float-returning call boxes unless locally unboxed);
+    [K_poly] flags polymorphic compare/hash on non-immediate types,
+    whose traversal is the hot-path hazard. *)
+type alloc_kind =
+  | K_closure
+  | K_partial
+  | K_tuple
+  | K_record
+  | K_variant
+  | K_option
+  | K_cons
+  | K_float
+  | K_array
+  | K_string
+  | K_poly
+  | K_format
+  | K_ref
+
+val alloc_kind_slug : alloc_kind -> string
+(** Stable short name, e.g. ["closure"], ["boxed-float"]; used in rule
+    ids ["alloc-<slug>"] and the per-kind report rollup. *)
+
+type alloc_site = { al_kind : alloc_kind; al_desc : string; al_site : site }
+
 val parts_of_path : Path.t -> string list
 (** Resolved path components, e.g. [["Stdlib"; "Hashtbl"; "replace"]]. *)
 
@@ -29,6 +56,7 @@ type effect_site = {
 type callee_ref =
   | C_stamp of string  (** same-unit ident, keyed by [Ident.unique_name] *)
   | C_name of string * string  (** (short module, value) *)
+  | C_node of string  (** already-resolved node id (spawned closures) *)
 
 type call_site = {
   cs_callee : callee_ref;
@@ -43,6 +71,7 @@ type node = {
   mutable n_effects : effect_site list;
   mutable n_calls : call_site list;
   mutable n_takes_lock : bool;
+  mutable n_allocs : alloc_site list;  (** reverse source order *)
   mutable n_param_order : (Asttypes.arg_label * string list) list;
       (** outer [fun]-chain parameters in application order; each entry
           is the label plus the unique names its pattern binds *)
@@ -63,6 +92,11 @@ type linked = {
   l_calls : (string, linked_call list) Hashtbl.t;
       (** node id -> resolved calls, in source order *)
   l_roots : (string * site) list;  (** (root node id, spawn site), sorted *)
+  l_dispatch : (string * site) list;
+      (** scheduler dispatch-kind handlers ([Scheduler.register_kind]):
+          (handler node id, registration site), sorted.  Closure
+          handlers become their own nodes with a call edge from the
+          registering function; named handlers resolve to their node. *)
   l_files : string list;  (** source files analyzed, sorted *)
 }
 

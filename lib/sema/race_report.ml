@@ -255,59 +255,17 @@ let summaries (l : Race_extract.linked) =
 
 (* --------------------------- suppressions ------------------------- *)
 
-let allow_marker = "race-allow:"
+(* Marker scanning lives in [Analysis.Findings]; the line-scope marker
+   is ["race-allow:"], and a whole file of intentionally serial state
+   can carry one ["race-allow-file:"] marker instead of a pasted
+   justification per site.  [race-allow:] never matches inside
+   [race-allow-file:] — the colon position differs. *)
 
-let file_cache : (string, string array) Hashtbl.t = Hashtbl.create 16
-
-let lines_of ~source_root file =
-  let path = Filename.concat source_root file in
-  match Hashtbl.find_opt file_cache path with
-  | Some ls -> Some ls
-  | None -> (
-    match open_in path with
-    | exception Sys_error _ -> None
-    | ic ->
-      let acc = ref [] in
-      (try
-         while true do
-           acc := input_line ic :: !acc
-         done
-       with End_of_file -> ());
-      close_in ic;
-      let ls = Array.of_list (List.rev !acc) in
-      Hashtbl.replace file_cache path ls;
-      Some ls)
-
-let find_marker line =
-  let n = String.length line and m = String.length allow_marker in
-  let rec go i =
-    if i + m > n then None
-    else if String.sub line i m = allow_marker then Some (i + m)
-    else go (i + 1)
-  in
-  go 0
-
-(* [Some reason] (possibly empty) when the mutation line or the line
-   above it carries a [(* race-allow: reason *)] comment *)
 let race_allow_at ~source_root file line =
-  match lines_of ~source_root file with
-  | None -> None
-  | Some ls ->
-    let check idx =
-      if idx < 0 || idx >= Array.length ls then None
-      else
-        match find_marker ls.(idx) with
-        | None -> None
-        | Some start ->
-          let rest = String.sub ls.(idx) start (String.length ls.(idx) - start) in
-          let rest =
-            match Str.search_forward (Str.regexp_string "*)") rest 0 with
-            | stop -> String.sub rest 0 stop
-            | exception Not_found -> rest
-          in
-          Some (String.trim rest)
-    in
-    (match check (line - 1) with Some r -> Some r | None -> check (line - 2))
+  Analysis.Findings.allow_at ~marker:"race-allow:" ~source_root file line
+
+let race_allow_file ~source_root file =
+  Analysis.Findings.allow_file ~marker:"race-allow-file:" ~source_root file
 
 (* ----------------------------- findings --------------------------- *)
 
@@ -341,7 +299,13 @@ let findings ~source_root (l : Race_extract.linked) summary =
                 match race_allow_at ~source_root file line with
                 | Some "" -> ("race-allow-empty", None)
                 | Some r -> (rule, Some r)
-                | None -> (rule, None)
+                | None -> (
+                  (* file-scope fallback; an unjustified file marker is
+                     itself a finding, same as line-scope *)
+                  match race_allow_file ~source_root file with
+                  | Some (_, "") -> ("race-allow-empty", None)
+                  | Some (_, r) -> (rule, Some r)
+                  | None -> (rule, None))
               in
               let target = display_of_key key in
               let k = rule ^ "|" ^ file ^ "|" ^ target in
@@ -385,7 +349,7 @@ let findings ~source_root (l : Race_extract.linked) summary =
          | c -> c)
 
 let run ~source_root units =
-  Hashtbl.reset file_cache;
+  Analysis.Findings.clear_source_cache ();
   let l = Race_extract.analyze units in
   let summary = summaries l in
   let fs = findings ~source_root l summary in
@@ -416,51 +380,37 @@ let run ~source_root units =
     r_files = l.Race_extract.l_files;
   }
 
+(* -------------------- shared-emission conversion ------------------ *)
+
+(* [Analysis.Findings] owns the baseline/JSON/SARIF lifecycle; the
+   race-specific record converts at this edge.  The identity key is
+   unchanged ("rule|file|target"). *)
+let to_shared f =
+  {
+    Analysis.Findings.rule = f.f_rule;
+    file = f.f_file;
+    line = f.f_line;
+    target = f.f_target;
+    message =
+      Printf.sprintf "%s mutated from parallel root(s) %s" f.f_target
+        (String.concat ", " f.f_roots);
+    witness = f.f_witness;
+    extra =
+      [
+        ( "roots",
+          Analysis.Json_out.List
+            (List.map (fun r -> Analysis.Json_out.String r) f.f_roots) );
+      ];
+    reason = f.f_reason;
+  }
+
 (* ----------------------------- baseline --------------------------- *)
 
 let baseline_json r =
-  Analysis.Json_out.(
-    Obj
-      [
-        ("tool", String "clove-race");
-        ("version", Int 1);
-        ( "entries",
-          List
-            (List.filter_map
-               (fun f ->
-                 if is_active f then
-                   Some
-                     (Obj
-                        [
-                          ("rule", String f.f_rule);
-                          ("file", String f.f_file);
-                          ("target", String f.f_target);
-                        ])
-                 else None)
-               r.r_findings) );
-      ])
+  Analysis.Findings.baseline_json ~tool:"clove-race"
+    (List.map to_shared r.r_findings)
 
-(* keys present in a committed baseline file; [Error] on parse trouble
-   so CI fails loudly rather than treating everything as new *)
-let load_baseline path =
-  match Analysis.Json_in.of_file path with
-  | Error e -> Error e
-  | Ok json -> (
-    match Option.bind (Analysis.Json_in.member "entries" json) Analysis.Json_in.to_list with
-    | None -> Error "baseline has no \"entries\" array"
-    | Some entries ->
-      let keys = Hashtbl.create 32 in
-      List.iter
-        (fun entry ->
-          let field k =
-            Option.bind (Analysis.Json_in.member k entry) Analysis.Json_in.to_string_opt
-          in
-          match (field "rule", field "file", field "target") with
-          | Some rule, Some file, Some target ->
-            Hashtbl.replace keys (rule ^ "|" ^ file ^ "|" ^ target) ()
-          | _ -> ())
-        entries;
-      Ok keys)
+let load_baseline = Analysis.Findings.load_baseline
 
 let new_findings r baseline_keys =
   List.filter
@@ -470,22 +420,6 @@ let new_findings r baseline_keys =
 (* ------------------------------ output ---------------------------- *)
 
 let site_str (s : Race_extract.site) = Printf.sprintf "%s:%d" s.s_file s.s_line
-
-let finding_json ~new_keys f =
-  Analysis.Json_out.(
-    Obj
-      [
-        ("rule", String f.f_rule);
-        ("file", String f.f_file);
-        ("line", Int f.f_line);
-        ("target", String f.f_target);
-        ("roots", List (List.map (fun r -> String r) f.f_roots));
-        ("witness", List (List.map (fun w -> String w) f.f_witness));
-        ("suppressed", Bool (not (is_active f)));
-        ( "reason",
-          match f.f_reason with Some r -> String r | None -> Null );
-        ("new", Bool (Hashtbl.mem new_keys (finding_key f)));
-      ])
 
 let report_json r ~new_keys =
   Analysis.Json_out.(
@@ -510,7 +444,9 @@ let report_json r ~new_keys =
               ("protected_sites", Int r.r_stats.st_protected);
               ("parallel_roots", Int r.r_stats.st_roots);
             ] );
-        ("findings", List (List.map (finding_json ~new_keys) r.r_findings));
+        ( "findings",
+          Analysis.Findings.findings_json ~new_keys
+            (List.map to_shared r.r_findings) );
       ])
 
 let rule_descriptions =
@@ -522,84 +458,10 @@ let rule_descriptions =
       "state captured by a closure is mutated by a domain-parallel task \
        without atomic, lock, or domain-local discipline" );
     ( "race-allow-empty",
-      "a race-allow suppression has no justification text" );
+      "a race-allow suppression (line- or file-scope) has no \
+       justification text" );
   ]
 
 let sarif r ~new_keys =
-  Analysis.Json_out.(
-    let results =
-      List.filter_map
-        (fun f ->
-          if is_active f then
-            Some
-              (Obj
-                 [
-                   ("ruleId", String f.f_rule);
-                   ( "level",
-                     String
-                       (if Hashtbl.mem new_keys (finding_key f) then "error"
-                        else "warning") );
-                   ( "message",
-                     Obj
-                       [
-                         ( "text",
-                           String
-                             (Printf.sprintf "%s mutated from parallel root(s) %s; witness: %s"
-                                f.f_target
-                                (String.concat ", " f.f_roots)
-                                (String.concat " ; " f.f_witness)) );
-                       ] );
-                   ( "locations",
-                     List
-                       [
-                         Obj
-                           [
-                             ( "physicalLocation",
-                               Obj
-                                 [
-                                   ( "artifactLocation",
-                                     Obj [ ("uri", String f.f_file) ] );
-                                   ( "region",
-                                     Obj [ ("startLine", Int f.f_line) ] );
-                                 ] );
-                           ];
-                       ] );
-                 ])
-          else None)
-        r.r_findings
-    in
-    Obj
-      [
-        ("version", String "2.1.0");
-        ( "$schema",
-          String "https://json.schemastore.org/sarif-2.1.0.json" );
-        ( "runs",
-          List
-            [
-              Obj
-                [
-                  ( "tool",
-                    Obj
-                      [
-                        ( "driver",
-                          Obj
-                            [
-                              ("name", String "clove-race");
-                              ("version", String "1.0.0");
-                              ( "rules",
-                                List
-                                  (List.map
-                                     (fun (id, desc) ->
-                                       Obj
-                                         [
-                                           ("id", String id);
-                                           ( "shortDescription",
-                                             Obj [ ("text", String desc) ] );
-                                         ])
-                                     rule_descriptions) );
-                            ] );
-                      ] );
-                  ("results", List results);
-                ];
-            ] );
-      ])
+  Analysis.Findings.sarif ~tool:"clove-race" ~rules:rule_descriptions ~new_keys
+    (List.map to_shared r.r_findings)

@@ -1,6 +1,7 @@
 (** clove-race reporting: the witness-carrying footprint fixpoint,
-    root analysis, [(* race-allow: reason *)] suppressions, baseline
-    comparison, and JSON / SARIF emission.
+    root analysis, [(* race-allow: reason *)] line and
+    [(* race-allow-file: reason *)] file suppressions, baseline
+    comparison, and JSON / SARIF emission (via [Analysis.Findings]).
 
     Rules: [race-shared-mut] (module-level state mutated by a
     domain-parallel task without atomic/lock/DLS discipline),
@@ -63,4 +64,11 @@ val sarif : t -> new_keys:(string, unit) Hashtbl.t -> Analysis.Json_out.t
 (**/**)
 
 val race_allow_at : source_root:string -> string -> int -> string option
-(** Exposed for tests: the suppression reason at (file, line), if any. *)
+(** Exposed for tests: the line-scope suppression reason at
+    (file, line), if any. *)
+
+val race_allow_file : source_root:string -> string -> (int * string) option
+(** Exposed for tests: the first [(* race-allow-file: reason *)]
+    marker in the file, as [(line, reason)].  A file marker suppresses
+    every finding in the file (unjustified = finding, same as
+    line-scope); line-scope markers take precedence. *)

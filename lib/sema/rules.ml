@@ -26,10 +26,6 @@ let rules =
       "Domain/Mutex/Condition/Atomic/Thread primitive outside the parallel \
        runtime whitelist: simulation code must stay single-domain \
        deterministic, parallelism lives in Engine.Domain_pool" );
-    ( "sema-hotpath-alloc",
-      "Hashtbl use or closure-creating Scheduler.schedule in a per-packet \
-       hot-path module: use Int_table / register_kind + schedule_tag, or \
-       annotate a genuinely cold path" );
     ("sema-parse-error", "source file failed to parse");
   ]
 
@@ -69,25 +65,6 @@ let parallel_whitelist =
   ]
 
 let parallel_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Thread" ]
-
-(* Modules on the steady-state per-packet path.  Inside these, generic
-   hash tables (boxed keys, rehash allocation) and closure-capturing
-   schedule calls (one closure + handle per event) are performance
-   regressions the benchmarks only catch much later; the flat Int_table
-   and the defunctionalized register_kind/schedule_tag path are the
-   sanctioned replacements.  Cold branches (TTL replies, A/B baseline
-   arms, cancellable timers) opt out with a [lint: allow] annotation. *)
-let hotpath_whitelist =
-  [
-    "lib/netsim/link.ml";
-    "lib/netsim/switch.ml";
-    "lib/netsim/host.ml";
-    "lib/netsim/pkt_queue.ml";
-    "lib/clove/flowlet.ml";
-    "lib/clove/vswitch.ml";
-  ]
-
-let closure_schedulers = [ "schedule"; "schedule_at"; "schedule_periodic" ]
 
 let raw_time_conversions = [ "to_ns"; "of_ns"; "span_ns"; "span_of_ns" ]
 
@@ -314,24 +291,6 @@ let collect_findings ~file (str : Parsetree.structure) =
                (Rng.split_named) or take a seed parameter"
           | _ -> ())
       | _ -> ());
-      (* P1: closure-capturing schedule on the per-packet path *)
-      (match last_two (lid_parts txt) with
-      | Some ("Scheduler", f)
-        when List.mem f closure_schedulers
-             && has_prefix_in hotpath_whitelist file
-             && List.exists
-                  (fun ((_, a) : Asttypes.arg_label * expression) ->
-                    match a.pexp_desc with
-                    | Pexp_fun _ | Pexp_function _ -> true
-                    | _ -> false)
-                  args ->
-        add ~line:(line_of ex.pexp_loc) ~rule:"sema-hotpath-alloc"
-          (Printf.sprintf
-             "Scheduler.%s with a closure literal in a hot-path module; \
-              steady-state events go through register_kind + schedule_tag \
-              (pooled handles, no per-event closure)"
-             f)
-      | _ -> ());
       (* U2: mixed-unit arithmetic *)
       match ex.pexp_desc with
       | Pexp_apply
@@ -354,12 +313,6 @@ let collect_findings ~file (str : Parsetree.structure) =
         match parts with "Stdlib" :: rest -> rest | parts -> parts
       in
       match parts with
-      | "Hashtbl" :: _ :: _ when has_prefix_in hotpath_whitelist file ->
-        add ~line:(line_of ex.pexp_loc) ~rule:"sema-hotpath-alloc"
-          (Printf.sprintf
-             "%s in a hot-path module: generic hash tables box int keys and \
-              allocate on rehash; use the flat Engine.Int_table"
-             (String.concat "." parts))
       | "Random" :: _ :: _ ->
         add ~line:(line_of ex.pexp_loc) ~rule:"sema-raw-random"
           (Printf.sprintf "%s: draw from an Engine.Rng stream instead"
@@ -555,6 +508,21 @@ let unused_exports ~ml_sources ~mli_sources =
 
 (* ------------------------------- report --------------------------- *)
 
+(* the parsetree rules carry no stable line-free identity, so the
+   message doubles as the target; suppressions are in-source
+   [lint: allow] comments handled during analysis, never here *)
+let to_shared f =
+  {
+    Analysis.Findings.rule = f.rule;
+    file = f.file;
+    line = f.line;
+    target = f.message;
+    message = f.message;
+    witness = [];
+    extra = [];
+    reason = None;
+  }
+
 let report_json ~findings ~graph ~unused ~files_analyzed =
   (* deterministic artifact ordering, independent of traversal order *)
   let findings =
@@ -593,17 +561,10 @@ let report_json ~findings ~graph ~unused ~files_analyzed =
                Obj [ ("id", String id); ("description", String descr) ])
              rules) );
       ( "findings",
-        List
-          (List.map
-             (fun f ->
-               Obj
-                 [
-                   ("file", String f.file);
-                   ("line", Int f.line);
-                   ("rule", String f.rule);
-                   ("message", String f.message);
-                 ])
-             findings) );
+        (* shared emission path with clove-race/clove-alloc; sema has
+           no baseline, so nothing is ever "new" *)
+        Analysis.Findings.findings_json ~new_keys:(Hashtbl.create 1)
+          (List.map to_shared findings) );
       ( "call_graph",
         List
           (List.map

@@ -1,116 +1,26 @@
 (* Typed refinement of the syntactic sema rules.
 
    The parsetree rules in [Rules] are deliberately cheap, which makes
-   them wrong in three recognizable situations on this codebase.  When
-   a .cmt is available we can see each of them in the typedtree and
-   drop the false positive instead of demanding a [lint: allow]
-   annotation:
+   them wrong in one recognizable situation on this codebase: a
+   [sema-domain-parallel] line whose only multicore-module mention is
+   a plain [Atomic.get] is a benign read of a published value, not
+   coordination logic escaping the sanctioned pool.  When a .cmt is
+   available we can see that in the typedtree and drop the false
+   positive instead of demanding a [lint: allow] annotation.
 
-   - A/B-gated cold branches.  [sema-hotpath-alloc] flags closure
-     schedules and Hashtbl uses anywhere in a hot-path module, but the
-     branch selected when [!Scheduler.defunctionalized] (or
-     [!Scheduler.wheel_enabled]) is false is the measurement baseline,
-     not the steady-state path; dually, a branch under [!Audit.on] only
-     runs in audited (serial) executions.
-
-   - Audited error paths.  A branch that directly calls
-     [Audit.note_injected] / [note_dropped] / [record_violation] is
-     drop-accounting or violation reporting — executed per anomaly, not
-     per packet.
-
-   - Cancellable timers.  [Scheduler.schedule] with a closure is the
-     per-event allocation the rule hunts, except when the returned
-     handle is actually kept (stored in a field, passed on): a handle
-     that is kept exists to be cancelled, and the defunctionalized
-     schedule_tag path cannot express cancellation.  Handles bound to
-     [_] or [ignore]d stay flagged.
-
-   [sema-domain-parallel] is refined differently: a line whose only
-   multicore-module mention is a plain [Atomic.get] is a benign read
-   of a published value, not coordination logic escaping the sanctioned
-   pool. *)
-
-type span = { sp_file : string; sp_start : int; sp_end : int; sp_reason : string }
+   (The hot-path allocation refinements that used to live here — A/B
+   gates, audited error paths, cancellable timers — moved to
+   [Alloc_extract.cold_spans]: clove-alloc replaced the syntactic
+   sema-hotpath-alloc rule with reachability from the dispatch
+   roots.) *)
 
 type t = {
-  r_cold : span list;
   r_benign_par : (string * int, unit) Hashtbl.t;  (* (file, line) *)
   r_other_par : (string * int, unit) Hashtbl.t;
 }
 
-let empty () = { r_cold = []; r_benign_par = Hashtbl.create 1; r_other_par = Hashtbl.create 1 }
-
-(* ---------------------------- detection --------------------------- *)
-
-let deref_gate (e : Typedtree.expression) =
-  (* [!Scheduler.defunctionalized] and friends; returns which branch is
-     cold: [`Else] when true selects the hot path, [`Then] when true
-     selects the audited path *)
-  match e.Typedtree.exp_desc with
-  | Typedtree.Texp_apply
-      ( { exp_desc = Typedtree.Texp_ident (op, _, _); _ },
-        [ (Asttypes.Nolabel, Some { exp_desc = Typedtree.Texp_ident (p, _, _); _ }) ] )
-    when Race_extract.suffix2 op = Some ("Stdlib", "!") -> (
-    match Race_extract.suffix2 p with
-    | Some ("Scheduler", "defunctionalized") ->
-      Some (`Else, "A/B baseline branch (!Scheduler.defunctionalized)")
-    | Some ("Scheduler", "wheel_enabled") ->
-      Some (`Else, "A/B baseline branch (!Scheduler.wheel_enabled)")
-    | Some ("Audit", "on") -> Some (`Then, "audited-run branch (!Audit.on)")
-    | _ -> None)
-  | _ -> None
-
-let rec gate_of (e : Typedtree.expression) =
-  match e.Typedtree.exp_desc with
-  | Typedtree.Texp_apply
-      ( { exp_desc = Typedtree.Texp_ident (op, _, _); _ },
-        [ (Asttypes.Nolabel, Some inner) ] )
-    when Race_extract.suffix2 op = Some ("Stdlib", "not") -> (
-    match gate_of inner with
-    | Some (`Else, r) -> Some (`Then, r)
-    | Some (`Then, r) -> Some (`Else, r)
-    | None -> None)
-  | _ -> deref_gate e
-
-let audit_error_calls =
-  [ ("Audit", "note_injected"); ("Audit", "note_dropped"); ("Audit", "record_violation") ]
-
-let contains_audit_error (e : Typedtree.expression) =
-  let found = ref false in
-  let it =
-    {
-      Tast_iterator.default_iterator with
-      expr =
-        (fun self e' ->
-          (match e'.Typedtree.exp_desc with
-          | Typedtree.Texp_ident (p, _, _) -> (
-            match Race_extract.suffix2 p with
-            | Some mv when List.mem mv audit_error_calls -> found := true
-            | _ -> ())
-          | _ -> ());
-          if not !found then Tast_iterator.default_iterator.expr self e');
-    }
-  in
-  it.Tast_iterator.expr it e;
-  !found
-
-let span_of file (e : Typedtree.expression) reason =
-  {
-    sp_file = file;
-    sp_start = e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_lnum;
-    sp_end = e.Typedtree.exp_loc.Location.loc_end.Lexing.pos_lnum;
-    sp_reason = reason;
-  }
-
-let handle_schedulers = [ ("Scheduler", "schedule"); ("Scheduler", "schedule_at") ]
-
-let is_handle_schedule (e : Typedtree.expression) =
-  match e.Typedtree.exp_desc with
-  | Typedtree.Texp_apply ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _) -> (
-    match Race_extract.suffix2 p with
-    | Some mv -> List.mem mv handle_schedulers
-    | None -> false)
-  | _ -> false
+let empty () =
+  { r_benign_par = Hashtbl.create 1; r_other_par = Hashtbl.create 1 }
 
 let parallel_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Thread" ]
 
@@ -118,51 +28,12 @@ let parallel_modules = [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Thread" ]
 
 let scan_unit (u : Cmt_load.unit_info) acc =
   let file = u.Cmt_load.u_source in
-  let cold = ref [] in
-  let schedule_lines : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let discarded_lines : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let note_schedule (e : Typedtree.expression) tbl =
-    if is_handle_schedule e then
-      Hashtbl.replace tbl e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_lnum ()
-  in
   let it =
     {
       Tast_iterator.default_iterator with
       expr =
         (fun self e ->
           (match e.Typedtree.exp_desc with
-          | Typedtree.Texp_ifthenelse (cond, then_, else_) -> (
-            (match gate_of cond with
-            | Some (`Then, reason) -> cold := span_of file then_ reason :: !cold
-            | Some (`Else, reason) -> (
-              match else_ with
-              | Some b -> cold := span_of file b reason :: !cold
-              | None -> ())
-            | None -> ());
-            if contains_audit_error then_ then
-              cold := span_of file then_ "audited error path" :: !cold;
-            match else_ with
-            | Some b when contains_audit_error b ->
-              cold := span_of file b "audited error path" :: !cold
-            | _ -> ())
-          | Typedtree.Texp_match (_, cases, _) ->
-            List.iter
-              (fun (c : _ Typedtree.case) ->
-                if contains_audit_error c.c_rhs then
-                  cold := span_of file c.c_rhs "audited error path" :: !cold)
-              cases
-          | Typedtree.Texp_let (_, vbs, _) ->
-            List.iter
-              (fun (vb : Typedtree.value_binding) ->
-                match vb.vb_pat.pat_desc with
-                | Typedtree.Tpat_any -> note_schedule vb.vb_expr discarded_lines
-                | _ -> ())
-              vbs
-          | Typedtree.Texp_apply
-              ( { exp_desc = Typedtree.Texp_ident (p, _, _); _ },
-                [ (Asttypes.Nolabel, Some arg) ] )
-            when Race_extract.suffix2 p = Some ("Stdlib", "ignore") ->
-            note_schedule arg discarded_lines
           | Typedtree.Texp_ident (p, _, _) -> (
             let parts = Race_extract.parts_of_path p in
             let parts =
@@ -177,49 +48,19 @@ let scan_unit (u : Cmt_load.unit_info) acc =
               else Hashtbl.replace acc.r_other_par key ()
             | _ -> ())
           | _ -> ());
-          (match e.Typedtree.exp_desc with
-          | Typedtree.Texp_apply _ -> note_schedule e schedule_lines
-          | _ -> ());
           Tast_iterator.default_iterator.expr self e);
     }
   in
   it.Tast_iterator.structure it u.Cmt_load.u_structure;
-  (* a schedule whose handle is consumed (kept) is a cancellable timer;
-     iterate the lines sorted so span order never depends on the table *)
-  let kept_lines =
-    Hashtbl.fold (fun line () acc -> line :: acc) schedule_lines []
-    |> List.sort Int.compare
-    |> List.filter (fun line -> not (Hashtbl.mem discarded_lines line))
-  in
-  List.iter
-    (fun line ->
-      cold :=
-        {
-          sp_file = file;
-          sp_start = line;
-          sp_end = line;
-          sp_reason = "cancellable timer: schedule handle is kept";
-        }
-        :: !cold)
-    kept_lines;
-  { acc with r_cold = !cold @ acc.r_cold }
+  acc
 
 let of_units units =
   List.fold_left (fun acc u -> scan_unit u acc) (empty ()) units
 
 (* ----------------------------- refine ----------------------------- *)
 
-let cold_reason t file line =
-  List.find_map
-    (fun sp ->
-      if sp.sp_file = file && line >= sp.sp_start && line <= sp.sp_end then
-        Some sp.sp_reason
-      else None)
-    t.r_cold
-
 let drop_reason t (f : Rules.finding) =
   match f.Rules.rule with
-  | "sema-hotpath-alloc" -> cold_reason t f.Rules.file f.Rules.line
   | "sema-domain-parallel" ->
     let key = (f.Rules.file, f.Rules.line) in
     if Hashtbl.mem t.r_benign_par key && not (Hashtbl.mem t.r_other_par key) then

@@ -1,19 +1,12 @@
 (** Typed refinement of the syntactic sema rules.
 
-    When [.cmt]s are available, three recognizable false-positive
-    shapes of [sema-hotpath-alloc] are dropped without [lint: allow]
-    annotations — A/B-gated baseline branches
-    ([!Scheduler.defunctionalized] / [!Scheduler.wheel_enabled] /
-    [!Audit.on]), branches that directly call the audit
-    error-accounting entry points, and [Scheduler.schedule] calls whose
-    handle is kept (cancellable timers; handles bound to [_] or
-    [ignore]d stay flagged) — and [sema-domain-parallel] findings whose
-    only multicore mention on the line is a plain [Atomic.get]. *)
-
-type span = { sp_file : string; sp_start : int; sp_end : int; sp_reason : string }
+    When [.cmt]s are available, [sema-domain-parallel] findings whose
+    only multicore mention on the line is a plain [Atomic.get] are
+    dropped as benign reads.  (The former [sema-hotpath-alloc]
+    refinements moved to [Alloc_extract]: clove-alloc replaced that
+    syntactic rule with call-graph reachability.) *)
 
 type t = {
-  r_cold : span list;
   r_benign_par : (string * int, unit) Hashtbl.t;
   r_other_par : (string * int, unit) Hashtbl.t;
 }

@@ -12,3 +12,15 @@ let bump key =
 let record x = bump (x mod 8)
 
 let run_batch xs = Engine.Domain_pool.run record xs
+
+(* Second seeded positive, exercising a mutator added by the stdlib
+   audit: [Array.fast_sort] mutates its *second* argument (target-arg
+   index 1), a module-level array reordered from a parallel task. *)
+
+let order = Array.make 8 0
+
+let resort () = Array.fast_sort compare order
+
+let reorder x = if x land 1 = 0 then resort ()
+
+let run_sorted xs = Engine.Domain_pool.run reorder xs

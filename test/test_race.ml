@@ -49,6 +49,61 @@ let test_racy_flagged () =
   (* the chain is root, one call hop, one mutation site *)
   Alcotest.(check int) "witness length" 3 (List.length f.f_witness)
 
+let test_new_mutator_flagged () =
+  (* [Array.fast_sort] entered the mutator table during the stdlib
+     audit; target-arg index 1 must root the effect at the sorted
+     array, not the compare function *)
+  let open Sema.Race_report in
+  let r = Lazy.force fixture_result in
+  let active = List.filter is_active r.r_findings in
+  let f =
+    match List.find_opt (fun f -> f.f_target = "Racy_chain.order") active with
+    | Some f -> f
+    | None ->
+      Alcotest.failf "Racy_chain.order not flagged; findings: %s"
+        (String.concat ", " (List.map (fun f -> f.f_target) active))
+  in
+  Alcotest.(check string) "rule" "race-shared-mut" f.f_rule;
+  Alcotest.(check bool) "rooted at reorder" true
+    (List.mem "Racy_chain.reorder" f.f_roots);
+  let witness_has sub = List.exists (fun w -> contains w sub) f.f_witness in
+  Alcotest.(check bool) "witness passes through resort" true
+    (witness_has "calls Racy_chain.resort");
+  Alcotest.(check bool) "witness ends at the sort" true
+    (witness_has "Array.fast_sort")
+
+let test_file_scope_marker () =
+  (* file-scope suppression parsing: first marker anywhere in the
+     file, reason trimmed at the comment close; empty reason surfaces
+     so [race-allow-empty] can fire *)
+  let with_temp content k =
+    let path = Filename.temp_file "race_allow" ".ml" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        Analysis.Findings.clear_source_cache ();
+        let r =
+          Sema.Race_report.race_allow_file
+            ~source_root:(Filename.dirname path)
+            (Filename.basename path)
+        in
+        Analysis.Findings.clear_source_cache ();
+        k r)
+  in
+  with_temp "let x = 1\n(* race-allow-file: serial by design *)\nlet y = 2\n"
+    (fun r ->
+      Alcotest.(check (option (pair int string)))
+        "justified marker" (Some (2, "serial by design")) r);
+  with_temp "(* race-allow-file: *)\nlet x = 1\n" (fun r ->
+      Alcotest.(check (option (pair int string)))
+        "empty reason surfaces" (Some (1, "")) r);
+  with_temp "(* race-allow: line scope only *)\nlet x = 1\n" (fun r ->
+      Alcotest.(check (option (pair int string)))
+        "line marker is not a file marker" None r)
+
 let test_safe_clean () =
   let open Sema.Race_report in
   let r = Lazy.force fixture_result in
@@ -141,6 +196,10 @@ let () =
           Alcotest.test_case "fixture units load" `Quick test_fixtures_load;
           Alcotest.test_case "racy chain flagged with witness" `Quick
             test_racy_flagged;
+          Alcotest.test_case "audited mutator flagged (Array.fast_sort)" `Quick
+            test_new_mutator_flagged;
+          Alcotest.test_case "file-scope race-allow marker" `Quick
+            test_file_scope_marker;
           Alcotest.test_case "guarded chain clean" `Quick test_safe_clean;
           Alcotest.test_case "deterministic report" `Quick
             test_deterministic_output;

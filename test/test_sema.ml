@@ -118,30 +118,6 @@ let test_domain_parallel () =
     "(* harness counter -- lint: allow sema-domain-parallel *)\n\
      let c = Atomic.fetch_and_add counter 1\n"
 
-let test_hotpath_alloc () =
-  let in_hot = analyze ~file:"lib/netsim/link.ml" in
-  check_int "hashtbl in hot path" 1
-    (count_rule "sema-hotpath-alloc" (in_hot "let tbl = Hashtbl.create 16\n"));
-  check_int "closure schedule in hot path" 1
-    (count_rule "sema-hotpath-alloc"
-       (in_hot
-          "let arm t = Scheduler.schedule t.sched ~after:d (fun () -> fire t)\n"));
-  (* a pre-built callback is one closure per component, not per event *)
-  check_int "named callback clean" 0
-    (count_rule "sema-hotpath-alloc"
-       (in_hot "let arm t = Scheduler.schedule t.sched ~after:d t.tick\n"));
-  check_int "schedule_tag clean" 0
-    (count_rule "sema-hotpath-alloc"
-       (in_hot
-          "let arm t = Scheduler.schedule_tag t.sched ~after:d ~kind:t.k ~arg:0\n"));
-  (* outside the hot-path whitelist both idioms are fine *)
-  none "let tbl = Hashtbl.create 16\n";
-  check_int "cold-path annotation suppresses" 0
-    (count_rule "sema-hotpath-alloc"
-       (in_hot
-          "(* rare error path -- lint: allow sema-hotpath-alloc *)\n\
-           let arm t = Scheduler.schedule t.sched ~after:d (fun () -> fire t)\n"))
-
 let test_parse_error () =
   let fs = analyze "let let let\n" in
   check_int "one finding" 1 (List.length fs);
@@ -377,7 +353,6 @@ let () =
           Alcotest.test_case "time-boundary" `Quick test_time_boundary;
           Alcotest.test_case "unit-mix" `Quick test_unit_mix;
           Alcotest.test_case "domain-parallel" `Quick test_domain_parallel;
-          Alcotest.test_case "hotpath-alloc" `Quick test_hotpath_alloc;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
           Alcotest.test_case "fixture flagged" `Quick test_fixture_flagged;
           Alcotest.test_case "module graph + unused exports" `Quick
