@@ -546,9 +546,12 @@ let hotpath_benchmark () =
     (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
     let wall = Unix.gettimeofday () -. t0 in
     let minor_words = Gc.minor_words () -. minor0 in
+    (* table pressure = the busiest vswitch's high-water mark, not the
+       post-run residual (idle eviction empties tables before we poll) *)
     let flows_tracked =
       Array.fold_left
-        (fun acc host -> acc + Clove.Vswitch.flows_tracked (Scenario.vswitch scn host))
+        (fun acc host ->
+          max acc (Clove.Vswitch.peak_flows_tracked (Scenario.vswitch scn host)))
         0
         (Array.append (Scenario.clients scn) servers)
     in
@@ -642,6 +645,151 @@ let hotpath_benchmark () =
     exit 1
   end
 
+(* ------------- part 7: PDES shard-scaling benchmark ---------------- *)
+
+type pdes_run = {
+  pd_width : int;
+  pd_wall : float;
+  pd_events : int;
+  pd_windows : int;
+  pd_stalls : int;
+  pd_boundary : int;
+  pd_window_ns : int;
+  pd_digest : string;
+}
+
+(* A 32-leaf websearch scenario driven at PDES widths 1, 2 and 4,
+   recording the scaling curve (events/s, barrier windows, stalls,
+   boundary exchanges) as results/BENCH_pdes.json and cross-checking
+   that every width produces byte-identical FCT records — the
+   determinism contract the sharded engine is built on.  host_cores
+   lands in the record so single-core CI numbers (where the domain pool
+   timeshares one CPU and the barrier overhead is all cost, no
+   parallelism) are read for what they are. *)
+let pdes_benchmark () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let jobs =
+    match Sys.getenv_opt "CLOVE_BENCH_QUICK" with Some _ -> 6 | None -> 20
+  in
+  let load = 0.5 in
+  let params =
+    {
+      Scenario.default_params with
+      Scenario.leaves = 32;
+      hosts_per_leaf = 2;
+      seed = 1;
+    }
+  in
+  let run width =
+    let scn = Scenario.build ~shards:width ~scheme:Scenario.S_clove_ecn params in
+    let servers = Scenario.servers scn in
+    let conns =
+      Array.mapi
+        (fun i client ->
+          Scenario.connect scn ~src:client ~dst:servers.(i mod Array.length servers))
+        (Scenario.clients scn)
+    in
+    let cfg =
+      {
+        Workload.Websearch.load;
+        bisection_bps = Scenario.bisection_bps scn;
+        jobs_per_conn = jobs;
+        size_dist = Scenario.size_dist scn;
+        start_at = Scenario.warmup scn;
+      }
+    in
+    (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
+    let t0 = Unix.gettimeofday () in
+    let fct = Scenario.run_websearch scn ~rng:(Scenario.rng scn) ~conns cfg in
+    (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
+    let wall = Unix.gettimeofday () -. t0 in
+    let events, windows, stalls, boundary, window_ns =
+      match Scenario.shard scn with
+      | Some sh ->
+        ( Shard.events_fired sh,
+          Shard.windows sh,
+          Shard.stalls sh,
+          Shard.boundary_events sh,
+          Shard.window_ns sh )
+      | None -> (Scheduler.events_fired (Scenario.sched scn), 0, 0, 0, 0)
+    in
+    let digest =
+      Digest.to_hex (Digest.string (Workload.Fct_stats.canonical_dump fct))
+    in
+    let r =
+      {
+        pd_width = Scenario.shards scn;
+        pd_wall = wall;
+        pd_events = events;
+        pd_windows = windows;
+        pd_stalls = stalls;
+        pd_boundary = boundary;
+        pd_window_ns = window_ns;
+        pd_digest = digest;
+      }
+    in
+    Scenario.quiesce scn;
+    r
+  in
+  Format.printf
+    "== PDES shard scaling (websearch/clove-ecn, %d leaves, load %.1f, %d \
+     jobs/conn) ==@."
+    params.Scenario.leaves load jobs;
+  let runs = List.map run [ 1; 2; 4 ] in
+  let serial = List.hd runs in
+  let eps r = if r.pd_wall > 0.0 then float_of_int r.pd_events /. r.pd_wall else nan in
+  let identical =
+    List.for_all (fun r -> String.equal r.pd_digest serial.pd_digest) runs
+  in
+  let host_cores = Domain_pool.host_cores () in
+  let run_json r =
+    Analysis.Json_out.Obj
+      [
+        ("shards", Int r.pd_width);
+        ("wall_time_sec", Float r.pd_wall);
+        ("events_fired", Int r.pd_events);
+        ("events_per_sec", Float (eps r));
+        ( "speedup_vs_serial",
+          Float (if r.pd_wall > 0.0 then serial.pd_wall /. r.pd_wall else nan) );
+        ("windows", Int r.pd_windows);
+        ("barrier_stalls", Int r.pd_stalls);
+        ("boundary_events", Int r.pd_boundary);
+        ("window_ns", Int r.pd_window_ns);
+        ("fct_digest", String r.pd_digest);
+      ]
+  in
+  let record =
+    Analysis.Json_out.Obj
+      [
+        ("scenario", String "pdes-scaling");
+        ("scheme", String "clove-ecn");
+        ("leaves", Int params.Scenario.leaves);
+        ("hosts_per_leaf", Int params.Scenario.hosts_per_leaf);
+        ("load", Float load);
+        ("jobs_per_conn", Int jobs);
+        ("seed", Int params.Scenario.seed);
+        ("host_cores", Int host_cores);
+        ("deterministic", Bool identical);
+        ("widths", List (List.map run_json runs));
+      ]
+  in
+  let path = Filename.concat "results" "BENCH_pdes.json" in
+  Analysis.Json_out.to_file path record;
+  List.iter
+    (fun r ->
+      Format.printf
+        "  shards %d  %8.2fs wall  %9.0f events/s  %6d windows  %6d stalls  \
+         %8d boundary  %s@."
+        r.pd_width r.pd_wall (eps r) r.pd_windows r.pd_stalls r.pd_boundary
+        r.pd_digest)
+    runs;
+  Format.printf "  host cores %d  deterministic %b  -> %s@.@." host_cores
+    identical path;
+  if not identical then begin
+    Format.eprintf "PDES benchmark: shard widths diverged@.";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* consume `--domains N` (overrides CLOVE_DOMAINS) before anything else *)
@@ -657,13 +805,16 @@ let () =
     | [] -> []
   in
   let args = strip_domains args in
-  let flags = [ "--micro-only"; "--scenarios-only"; "--figures-only"; "--hotpath" ] in
+  let flags =
+    [ "--micro-only"; "--scenarios-only"; "--figures-only"; "--hotpath"; "--pdes" ]
+  in
   let figure_ids = List.filter (fun a -> not (List.mem a flags)) args in
   Format.printf "Clove reproduction benchmark harness@.";
   Format.printf
     "(CLOVE_BENCH_QUICK=1 for smoke, CLOVE_BENCH_FULL=1 for high fidelity; \
      CLOVE_DOMAINS / --domains N set the sweep pool width)@.@.";
   if List.mem "--hotpath" args then hotpath_benchmark ()
+  else if List.mem "--pdes" args then pdes_benchmark ()
   else if List.mem "--scenarios-only" args then begin
     scenario_benchmarks ();
     parallel_sweep_benchmark ();

@@ -59,6 +59,22 @@ let apply_domains = function
   | Some n -> Domain_pool.set_default_domains n
   | None -> ()
 
+let shards_arg =
+  let doc =
+    "Shard the fabric across N domains with conservative time-window PDES \
+     (one shard per leaf, spines round-robin).  0 (default) is the legacy \
+     serial engine; 1 is the serial fallback with PDES stats conventions; \
+     figure and chaos digests are byte-identical for any N >= 1."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~doc ~docv:"N")
+
+let apply_shards n =
+  if n < 0 then begin
+    Format.eprintf "clove-sim: --shards must be >= 0@.";
+    exit 2
+  end;
+  Scenario.default_shards := n
+
 let quick_arg =
   let doc = "Quick mode: fewer jobs and a single seed per point." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
@@ -68,7 +84,8 @@ let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc)
 
 let run_cmd =
-  let run scheme load jobs seed asym hosts =
+  let run scheme load jobs seed asym hosts shards =
+    apply_shards shards;
     let params =
       {
         Scenario.default_params with
@@ -93,7 +110,9 @@ let run_cmd =
       (Workload.Fct_stats.percentile fct 99.0)
   in
   let term =
-    Term.(const run $ scheme_arg $ load_arg $ jobs_arg $ seed_arg $ asym_arg $ hosts_arg)
+    Term.(
+      const run $ scheme_arg $ load_arg $ jobs_arg $ seed_arg $ asym_arg
+      $ hosts_arg $ shards_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload point and print FCT statistics.") term
 
@@ -103,8 +122,9 @@ let opts_of ~quick ~full =
   else Sweep.default_opts
 
 let exp_cmd =
-  let run ids quick full domains =
+  let run ids quick full domains shards =
     apply_domains domains;
+    apply_shards shards;
     let opts = opts_of ~quick ~full in
     let known =
       Figures.all ()
@@ -148,14 +168,16 @@ let exp_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids.")
   in
-  let term = Term.(const run $ ids $ quick_arg $ full_arg $ domains_arg) in
+  let term =
+    Term.(const run $ ids $ quick_arg $ full_arg $ domains_arg $ shards_arg)
+  in
   Cmd.v
     (Cmd.info "exp"
        ~doc:"Regenerate one or more paper figures (all of them by default).")
     term
 
 let determinism_cmd =
-  let run scheme load jobs seed asym hosts =
+  let run scheme load jobs seed asym hosts recovery probe_ms =
     let params =
       {
         Scenario.default_params with
@@ -163,6 +185,11 @@ let determinism_cmd =
         seed;
         hosts_per_leaf = hosts;
         fabric_rate_bps = float_of_int hosts *. 10e9 /. 4.0;
+        failure_recovery = recovery;
+        probe_interval =
+          (match probe_ms with
+          | Some ms -> Some (Sim_time.ms ms)
+          | None -> None);
       }
     in
     let digest () =
@@ -177,10 +204,24 @@ let determinism_cmd =
     Format.printf "%a@." Analysis.Perturb.pp_outcomes result;
     if not (Analysis.Perturb.stable (snd result)) then exit 1
   in
+  let recovery_arg =
+    let doc =
+      "Enable failure recovery (probe-driven path maintenance) for the \
+       checked workload, exercising its timer ties."
+    in
+    Arg.(value & flag & info [ "recovery" ] ~doc)
+  in
+  let probe_ms_arg =
+    let doc =
+      "Override the source-probing interval (milliseconds); short intervals \
+       densify probe/data event ties."
+    in
+    Arg.(value & opt (some int) None & info [ "probe-ms" ] ~docv:"MS" ~doc)
+  in
   let term =
     Term.(
       const run $ scheme_arg $ load_arg $ jobs_arg $ seed_arg $ asym_arg
-      $ hosts_arg)
+      $ hosts_arg $ recovery_arg $ probe_ms_arg)
   in
   Cmd.v
     (Cmd.info "determinism"
@@ -191,9 +232,10 @@ let determinism_cmd =
     term
 
 let chaos_cmd =
-  let run faults schemes load jobs seed hosts domains audit no_recovery
+  let run faults schemes load jobs seed hosts domains shards audit no_recovery
       assert_recovery =
     apply_domains domains;
+    apply_shards shards;
     if audit then Analysis.Audit.set_enabled true;
     let plan =
       match Faults.Fault_plan.parse faults with
@@ -314,8 +356,8 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ faults_arg $ schemes_arg $ chaos_load_arg $ chaos_jobs_arg
-      $ seed_arg $ hosts_arg $ domains_arg $ audit_arg $ no_recovery_arg
-      $ assert_recovery_arg)
+      $ seed_arg $ hosts_arg $ domains_arg $ shards_arg $ audit_arg
+      $ no_recovery_arg $ assert_recovery_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

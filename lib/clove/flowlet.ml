@@ -6,11 +6,13 @@ type 'd t = {
   table : 'd entry Int_table.t;
   absent : 'd entry; (* the table's dummy; compared physically in [touch] *)
   mutable started : int;
+  mutable peak : int; (* high-water mark of tracked flows, survives eviction *)
 }
 
 let create ~sched ~gap ~dummy =
   let absent = { last_seen = Sim_time.zero; flowlet_id = -1; decision = dummy } in
-  { sched; gap; table = Int_table.create ~capacity:256 ~dummy:absent (); absent; started = 0 }
+  { sched; gap; table = Int_table.create ~capacity:256 ~dummy:absent (); absent;
+    started = 0; peak = 0 }
 
 let touch t ~key ~pick =
   let now = Scheduler.now t.sched in
@@ -19,6 +21,8 @@ let touch t ~key ~pick =
     let decision = pick ~flowlet_id:0 in
     Int_table.set t.table key { last_seen = now; flowlet_id = 0; decision };
     t.started <- t.started + 1;
+    let n = Int_table.length t.table in
+    if n > t.peak then t.peak <- n;
     decision
   end
   else begin
@@ -37,6 +41,7 @@ let active_flowlet t ~key =
 
 let flowlets_started t = t.started
 let flows_tracked t = Int_table.length t.table
+let peak_flows_tracked t = t.peak
 let set_gap t gap = t.gap <- gap
 let gap t = t.gap
 

@@ -25,6 +25,13 @@ val flowlets_started : 'd t -> int
 (** Total new-flowlet events, across all flows. *)
 
 val flows_tracked : 'd t -> int
+(** Entries currently in the table (idle eviction shrinks this). *)
+
+val peak_flows_tracked : 'd t -> int
+(** High-water mark of [flows_tracked] over the table's lifetime —
+    unaffected by idle eviction, so end-of-run reporting sees the real
+    concurrency rather than whatever survived the last housekeeping. *)
+
 val set_gap : 'd t -> Sim_time.span -> unit
 val gap : 'd t -> Sim_time.span
 val expire_older_than : 'd t -> Sim_time.span -> unit

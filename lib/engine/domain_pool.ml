@@ -41,6 +41,7 @@ let env_domains () =
   | None -> None
   | Some s -> (
     match int_of_string_opt (String.trim s) with
+    (* alloc-allow: pool-width lookup runs once at pool construction *)
     | Some n when n >= 1 -> Some n
     | Some _ | None -> None)
 
@@ -53,6 +54,7 @@ let default_domains () =
     | None -> max 1 (Domain.recommended_domain_count () - 1))
 
 let set_default_domains n = override := Some (max 1 n)
+let host_cores () = Domain.recommended_domain_count ()
 
 (* --------------------------- the pool ----------------------------- *)
 
@@ -98,6 +100,7 @@ let create ?domains () =
     match domains with Some n -> max 1 n | None -> default_domains ()
   in
   let t =
+    (* alloc-allow: pool construction allocates once per run, reused per window *)
     {
       m = Mutex.create ();
       work_ready = Condition.create ();
@@ -108,6 +111,7 @@ let create ?domains () =
       workers = [||];
     }
   in
+  (* alloc-allow: worker spawn happens once per pool, not per task *)
   t.workers <- Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
 

@@ -24,6 +24,11 @@ val set_default_domains : int -> unit
 (** Override {!default_domains} for the process (the [--domains] CLI
     flag); clamped to at least 1. *)
 
+val host_cores : unit -> int
+(** The runtime's view of the host's usable CPUs
+    ([Domain.recommended_domain_count]); benchmarks record it so
+    single-core scaling numbers are read for what they are. *)
+
 val create : ?domains:int -> unit -> t
 (** Spawn a pool of [domains - 1] workers (the submitting domain itself
     is the remaining member).  [domains] defaults to

@@ -1,8 +1,15 @@
 (** Priority queue of timestamped events.
 
-    An array-based binary min-heap ordered by (time, insertion sequence),
-    so events scheduled for the same instant fire in insertion order — a
-    property the deterministic simulator relies on.
+    An array-based binary min-heap ordered by (time, born, insertion
+    sequence), where [born] is the simulation instant the event was
+    inserted at.  In a single-scheduler run the insertion clock is
+    nondecreasing, so born-order equals seq-order and the pop sequence
+    is the classic "same-instant events fire in insertion order" FIFO
+    the deterministic simulator relies on.  Under PDES a boundary event
+    injected at a window barrier carries the sending shard's insertion
+    instant as its [born], which makes same-timestamp ties between
+    injected and locally scheduled events resolve exactly as the serial
+    engine would have resolved them.
 
     The heap is a structure of unboxed arrays: times and sequence numbers
     live in [int array]s and payloads in a plain ['a array], so [add] and
@@ -20,11 +27,12 @@ val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 val add : 'a t -> time:Sim_time.t -> 'a -> unit
 (** Self-sequencing add: the queue assigns the next insertion sequence. *)
 
-val add_at_ns : 'a t -> time_ns:int -> seq:int -> 'a -> unit
-(** Raw add with a caller-owned sequence number.  The scheduler shares
-    one sequence stream between this heap and the timer wheel, so wheel
-    entries flushed into the heap keep their original tie-break rank.
-    Do not mix with [add] on the same queue. *)
+val add_at_ns :
+  'a t -> time_ns:int -> born_ns:int -> src:int -> seq:int -> 'a -> unit
+(** Raw add with a caller-owned insertion instant and sequence number.
+    The scheduler shares one sequence stream between this heap and the
+    timer wheel, so wheel entries flushed into the heap keep their
+    original tie-break rank.  Do not mix with [add] on the same queue. *)
 
 val pop : 'a t -> (Sim_time.t * 'a) option
 (** Remove and return the earliest event, or [None] if empty. *)
@@ -40,7 +48,7 @@ val min_time_ns : 'a t -> int
 val compact : 'a t -> keep:('a -> bool) -> int
 (** Drop every entry whose payload fails [keep] and restore the heap in
     place; returns the number dropped.  Pop order of surviving entries is
-    unchanged ((time, seq) is a total order). *)
+    unchanged ((time, born, seq) is a total order). *)
 
 val peek_time : 'a t -> Sim_time.t option
 

@@ -8,7 +8,10 @@
    draw sequence numbers from one scheduler-owned counter, and the wheel
    flushes whole windows into the heap before the clock can reach them,
    so pop order is exactly that of a single binary heap under the
-   (time, seq) total order — byte-identical results, wheel on or off.
+   (time, born, src, seq) total order — byte-identical results, wheel on
+   or off.  [born] is the insertion instant and [src] the owning
+   component's construction-order id; together they make same-timestamp
+   tie-breaking shard-invariant under PDES (see {!Event_queue}).
 
    Steady-state events avoid closures entirely: a component registers a
    handler kind once at construction ([register_kind]) and then
@@ -34,8 +37,22 @@ type handle = {
   mutable live : bool;
   mutable kind : int; (* -1 = closure event; >= 0 = dispatch-table index *)
   mutable arg : int; (* operand for tagged events *)
+  src : int; (* closure events: owning component (tie-break rank) *)
   mutable thunk : unit -> unit;
 }
+
+(* Component ids for the (time, born, src, seq) event order.  The
+   counter is domain-local: one scenario is always constructed on a
+   single domain, so ids within a scenario follow construction order
+   whatever other domains are doing (a parallel sweep builds unrelated
+   scenarios concurrently; only relative order within one scheduler's
+   events ever matters). *)
+let src_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let fresh_src () =
+  let r = Domain.DLS.get src_key in
+  incr r;
+  !r
 
 type t = {
   id : int;
@@ -47,7 +64,9 @@ type t = {
   mutable next_seq : int; (* shared by wheel and heap: one tie-break stream *)
   mutable dead : int; (* cancelled handles still queued *)
   mutable handlers : (int -> unit) array;
+  mutable kind_srcs : int array; (* component id per registered kind *)
   mutable n_kinds : int;
+  mutable cur_src : int; (* component id of the dispatching event; 0 at setup *)
   mutable pool : handle array; (* free tagged handles, stack discipline *)
   mutable pool_len : int;
   mutable wheel_scheduled : int;
@@ -64,7 +83,7 @@ let nop () = ()
 
 (* pads empty queue/wheel/pool slots; [live = false] so it is inert even
    if a bug ever dispatched it *)
-let dummy_handle = { live = false; kind = -1; arg = 0; thunk = nop }
+let dummy_handle = { live = false; kind = -1; arg = 0; src = 0; thunk = nop }
 
 let nop_handler (_ : int) = ()
 
@@ -79,7 +98,9 @@ let create () =
     next_seq = 0;
     dead = 0;
     handlers = Array.make 8 nop_handler;
+    kind_srcs = Array.make 8 0;
     n_kinds = 0;
+    cur_src = 0;
     pool = Array.make 32 dummy_handle;
     pool_len = 0;
     compactions = 0;
@@ -94,18 +115,29 @@ let now t = t.clock
 let register_kind t f =
   if t.n_kinds = Array.length t.handlers then begin
     let handlers = Array.make (2 * t.n_kinds) nop_handler in
+    let kind_srcs = Array.make (2 * t.n_kinds) 0 in
     Array.blit t.handlers 0 handlers 0 t.n_kinds;
-    t.handlers <- handlers
+    Array.blit t.kind_srcs 0 kind_srcs 0 t.n_kinds;
+    t.handlers <- handlers;
+    t.kind_srcs <- kind_srcs
   end;
   let k = t.n_kinds in
   t.handlers.(k) <- f;
+  t.kind_srcs.(k) <- fresh_src ();
   t.n_kinds <- k + 1;
   k
+
+(* A component with several kinds (or the same logical event reachable
+   through different kinds, like a wire delivery scheduled locally
+   vs. injected across a PDES boundary) overrides the per-registration
+   default so all its events share one rank. *)
+let set_kind_src t ~kind ~src = t.kind_srcs.(kind) <- src
+let kind_src t ~kind = t.kind_srcs.(kind)
 
 (* ---- handle pool (tagged fire-and-forget events only) ---- *)
 
 let alloc_handle t ~kind ~arg =
-  if t.pool_len = 0 then { live = true; kind; arg; thunk = nop }
+  if t.pool_len = 0 then { live = true; kind; arg; src = 0; thunk = nop }
   else begin
     let n = t.pool_len - 1 in
     t.pool_len <- n;
@@ -128,30 +160,51 @@ let release_handle t h =
 
 (* ---- enqueue ---- *)
 
-let push t ~time_ns h =
+let push_born t ~time_ns ~born_ns ~src h =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  if t.use_wheel && Timer_wheel.add t.wheel ~time_ns ~seq h then
+  if t.use_wheel && Timer_wheel.add t.wheel ~time_ns ~born_ns ~src ~seq h then
     t.wheel_scheduled <- t.wheel_scheduled + 1
   else begin
     t.heap_scheduled <- t.heap_scheduled + 1;
-    Event_queue.add_at_ns t.queue ~time_ns ~seq h
+    Event_queue.add_at_ns t.queue ~time_ns ~born_ns ~src ~seq h
   end
 
-let schedule_at t ~time f =
+(* every locally scheduled event is born at the scheduler's own clock —
+   exactly the instant the serial engine would have inserted it at *)
+let push t ~time_ns ~src h =
+  push_born t ~time_ns ~born_ns:(Sim_time.to_ns t.clock) ~src h
+
+let schedule_at ?src t ~time f =
   if Sim_time.(time < t.clock) then
     invalid_arg "Scheduler.schedule_at: time in the past";
-  let h = { live = true; kind = -1; arg = 0; thunk = f } in
-  push t ~time_ns:(Sim_time.to_ns time) h;
+  (* closures rank under the component whose handler scheduled them
+     unless the caller names the owning component explicitly *)
+  let src = match src with Some s -> s | None -> t.cur_src in
+  let h = { live = true; kind = -1; arg = 0; src; thunk = f } in
+  push t ~time_ns:(Sim_time.to_ns time) ~src h;
   h
 
-let schedule t ~after f = schedule_at t ~time:(Sim_time.add t.clock after) f
+let schedule ?src t ~after f =
+  schedule_at ?src t ~time:(Sim_time.add t.clock after) f
 
 let schedule_tag t ~after ~kind ~arg =
   let time_ns = Sim_time.to_ns t.clock + Sim_time.span_ns after in
   if time_ns < Sim_time.to_ns t.clock then
     invalid_arg "Scheduler.schedule_tag: time in the past";
-  push t ~time_ns (alloc_handle t ~kind ~arg)
+  push t ~time_ns ~src:t.kind_srcs.(kind) (alloc_handle t ~kind ~arg)
+
+(* PDES boundary injection: a cross-shard event scheduled with the
+   sending shard's insertion instant as its tie-break rank, so a
+   same-timestamp tie against locally scheduled events resolves the way
+   the serial engine's single insertion clock would have resolved it.
+   [born_ns] may lie in this scheduler's past — that is the point — but
+   the event time itself must not. *)
+let inject_tag t ~time_ns ~born_ns ~kind ~arg =
+  if time_ns < Sim_time.to_ns t.clock then
+    invalid_arg "Scheduler.inject_tag: time in the past";
+  if born_ns > time_ns then invalid_arg "Scheduler.inject_tag: born after fire";
+  push_born t ~time_ns ~born_ns ~src:t.kind_srcs.(kind) (alloc_handle t ~kind ~arg)
 
 (* ---- cancellation & compaction ---- *)
 
@@ -159,7 +212,7 @@ let is_pending h = h.live
 
 (* Sweep dead handles out of both structures when they outnumber live
    ones (and are numerous enough to matter).  Compaction preserves every
-   survivor's (time, seq), and pop order under a total order does not
+   survivor's (time, born, src, seq), and pop order under a total order does not
    depend on heap layout, so this is invisible to the simulation. *)
 let maybe_compact t =
   if t.dead > 64 && 2 * t.dead > Event_queue.size t.queue + Timer_wheel.size t.wheel
@@ -209,6 +262,10 @@ let prepare t =
       t.dead <- t.dead - purged
   end
 
+let next_time_ns t =
+  prepare t;
+  Event_queue.min_time_ns t.queue
+
 let step t =
   prepare t;
   if Event_queue.is_empty t.queue then false
@@ -226,10 +283,14 @@ let step t =
         (* recycle before dispatch: the handler may schedule and reuse
            this very record, which is safe once kind/arg are copied out *)
         let a = h.arg in
+        t.cur_src <- t.kind_srcs.(k);
         release_handle t h;
         t.handlers.(k) a
       end
-      else h.thunk ()
+      else begin
+        t.cur_src <- h.src;
+        h.thunk ()
+      end
     end
     else t.dead <- t.dead - 1;
     true
@@ -255,6 +316,21 @@ let run ?until ?(max_events = max_int) t =
     let (_ : bool) = step t in
     incr fired
   done
+
+(* allocation-free horizon drive for the PDES barrier loop: same
+   semantics as [run ?until] (clock parks at the horizon when the next
+   event lies beyond it; an empty queue leaves the clock alone) without
+   the optional-argument boxing or closure — one call per barrier
+   window, millions of windows per run *)
+let rec run_until t ~until_ns =
+  prepare t;
+  let time_ns = Event_queue.min_time_ns t.queue in
+  if time_ns = max_int then ()
+  else if time_ns > until_ns then t.clock <- Sim_time.of_ns until_ns
+  else begin
+    let (_ : bool) = step t in
+    run_until t ~until_ns
+  end
 
 (* ---- accounting ---- *)
 

@@ -27,24 +27,57 @@ val create : unit -> t
 val now : t -> Sim_time.t
 (** Current simulation time. *)
 
-val schedule : t -> after:Sim_time.span -> (unit -> unit) -> handle
+val schedule : ?src:int -> t -> after:Sim_time.span -> (unit -> unit) -> handle
 (** [schedule t ~after f] runs [f] at [now t + after].  Allocates a
-    handle and a closure — prefer {!schedule_tag} on per-packet paths. *)
+    handle and a closure — prefer {!schedule_tag} on per-packet paths.
+    [src] names the component the event ranks under for same-timestamp
+    tie-breaking; it defaults to the component whose handler is
+    executing, which is right for a component scheduling its own
+    follow-ups and wrong only where a closure stands in for another
+    component's tagged path (the closure A/B fallbacks pass it
+    explicitly so both paths rank identically). *)
 
-val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> handle
+val schedule_at : ?src:int -> t -> time:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] runs [f] at [time]; raises [Invalid_argument]
-    if [time] is in the past. *)
+    if [time] is in the past.  [src] as in {!schedule}. *)
+
+val fresh_src : unit -> int
+(** Allocate a component id for the (time, born, src, seq) event order.
+    Ids follow construction order on the calling domain, so they are
+    identical at any shard count; same-timestamp events of different
+    components rank by them, making tie-breaking shard-invariant. *)
 
 val register_kind : t -> (int -> unit) -> int
 (** Register a dispatch handler, returning its kind tag.  Called once
     per component at construction (one closure per component for its
-    whole lifetime, not one per event). *)
+    whole lifetime, not one per event).  Each registration draws a fresh
+    component id; components that spread one logical event stream over
+    several kinds override it with {!set_kind_src}. *)
+
+val set_kind_src : t -> kind:int -> src:int -> unit
+val kind_src : t -> kind:int -> int
+(** Override the component id events of [kind] rank under.  A link gives
+    its locally scheduled and PDES-injected wire deliveries the same id
+    so a delivery's tie-break rank does not depend on which path
+    scheduled it. *)
 
 val schedule_tag : t -> after:Sim_time.span -> kind:int -> arg:int -> unit
 (** Allocation-free scheduling: at [now + after], call the handler
     registered for [kind] with [arg].  The carrying handle comes from a
     pool and is recycled at dispatch; tagged events cannot be
     cancelled. *)
+
+val inject_tag : t -> time_ns:int -> born_ns:int -> kind:int -> arg:int -> unit
+(** PDES boundary injection: like {!schedule_tag} at an absolute time,
+    but the event's same-timestamp tie-break rank is ([born_ns],
+    [kind]'s component id): the simulation instant the *sending* shard
+    created it, then the owning component's construction-order id.  A
+    tie between an injected delivery and a locally scheduled event then
+    resolves exactly as it would in a serial run, where both insertions
+    went through one clock and the same component ids.  [born_ns] may
+    lie in this scheduler's past; the event time must not.  Raises
+    [Invalid_argument] if [time_ns] is in the past or precedes
+    [born_ns]. *)
 
 val cancel : t -> handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
@@ -59,12 +92,25 @@ val schedule_periodic : t -> every:Sim_time.span -> (unit -> bool) -> unit
 (** [schedule_periodic t ~every f] calls [f] every [every]; the series stops
     when [f] returns [false]. The first call happens after [every]. *)
 
+val next_time_ns : t -> int
+(** Timestamp (ns) of the earliest pending live-or-dead event, or
+    [max_int] when the queue is empty.  Used by the conservative PDES
+    barrier loop ({!Shard}) to compute the next safe window; flushes
+    due wheel windows into the heap, exactly like {!step} would. *)
+
 val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
 (** Drain the event queue.  [until] stops the clock at the given horizon
     (events beyond it remain unfired); [max_events] is a safety valve. *)
 
 val step : t -> bool
 (** Fire the single earliest event; [false] if the queue was empty. *)
+
+val run_until : t -> until_ns:int -> unit
+(** [run ~until] minus the optional-argument and closure allocations:
+    drains events with timestamps at most [until_ns] and parks the
+    clock at the horizon when more remain beyond it.  The PDES barrier
+    loop ({!Shard.drive}) calls it once per window on its global
+    scheduler. *)
 
 val pending_events : t -> int
 (** Queued handles in wheel + heap, including cancelled ones awaiting

@@ -8,12 +8,12 @@
    arms.  Events beyond the horizon (or behind the flushed frontier) are
    refused by [add]; the caller keeps them in the overflow heap.
 
-   Slots hold unsorted (time, seq, payload) triples in growable
-   structure-of-arrays chunks.  Ordering is delegated entirely to the
-   destination heap: [advance] flushes whole slots — complete windows, in
-   window order, before the caller's clock can reach them — so the heap's
-   (time, seq) comparator reproduces exactly the pop order of a pure
-   binary heap.  The wheel never reorders, delays, or drops an event
+   Slots hold unsorted (time, born, src, seq, payload) tuples in
+   growable structure-of-arrays chunks.  Ordering is delegated entirely
+   to the destination heap: [advance] flushes whole slots — complete
+   windows, in window order, before the caller's clock can reach them —
+   so the heap's (time, born, src, seq) comparator reproduces exactly
+   the pop order of a pure binary heap.  The wheel never reorders, delays, or drops an event
    (except entries failing [keep], which are cancelled timers).
 
    Two costs matter on the scheduler's per-pop path:
@@ -26,6 +26,8 @@
 
 type slot = {
   mutable s_times : int array;
+  mutable s_borns : int array;
+  mutable s_srcs : int array;
   mutable s_seqs : int array;
   mutable s_len : int;
 }
@@ -56,7 +58,13 @@ let create ?(bits = 8) ?(g_bits = 6) ?(levels = 3) ~dummy ~keep () =
     levels;
     slots =
       Array.init nslots (fun _ ->
-          { s_times = empty_ints; s_seqs = empty_ints; s_len = 0 });
+          {
+            s_times = empty_ints;
+            s_borns = empty_ints;
+            s_srcs = empty_ints;
+            s_seqs = empty_ints;
+            s_len = 0;
+          });
     vals = Array.make nslots [||];
     frontier = 0;
     count = 0;
@@ -73,22 +81,30 @@ let[@inline] shift t k = t.g_bits + (k * t.bits)
 
 let horizon_ns t = (1 lsl t.bits) lsl shift t (t.levels - 1)
 
-let slot_push t idx ~time_ns ~seq v =
+let slot_push t idx ~time_ns ~born_ns ~src ~seq v =
   let s = t.slots.(idx) in
   let cap = Array.length s.s_times in
   if s.s_len = cap then begin
     let cap' = if cap = 0 then 4 else 2 * cap in
     let times = Array.make cap' 0
+    and borns = Array.make cap' 0
+    and srcs = Array.make cap' 0
     and seqs = Array.make cap' 0
     and vals = Array.make cap' t.dummy in
     Array.blit s.s_times 0 times 0 s.s_len;
+    Array.blit s.s_borns 0 borns 0 s.s_len;
+    Array.blit s.s_srcs 0 srcs 0 s.s_len;
     Array.blit s.s_seqs 0 seqs 0 s.s_len;
     Array.blit t.vals.(idx) 0 vals 0 s.s_len;
     s.s_times <- times;
+    s.s_borns <- borns;
+    s.s_srcs <- srcs;
     s.s_seqs <- seqs;
     t.vals.(idx) <- vals
   end;
   s.s_times.(s.s_len) <- time_ns;
+  s.s_borns.(s.s_len) <- born_ns;
+  s.s_srcs.(s.s_len) <- src;
   s.s_seqs.(s.s_len) <- seq;
   t.vals.(idx).(s.s_len) <- v;
   s.s_len <- s.s_len + 1
@@ -99,22 +115,22 @@ let slot_push t idx ~time_ns ~seq v =
    a lower level, since one level-k slot spans a whole level-(k-1) ring —
    so the slot the frontier sits in is empty at every level above 0,
    which is what lets [advance] jump the frontier across idle gaps. *)
-let rec place t ~time_ns ~seq v k =
+let rec place t ~time_ns ~born_ns ~src ~seq v k =
   if k = t.levels then false
   else begin
     let sh = shift t k in
     let mask = (1 lsl t.bits) - 1 in
     if (time_ns lsr sh) - (t.frontier lsr sh) <= mask then begin
       let idx = (k lsl t.bits) lor ((time_ns lsr sh) land mask) in
-      slot_push t idx ~time_ns ~seq v;
+      slot_push t idx ~time_ns ~born_ns ~src ~seq v;
       true
     end
-    else place t ~time_ns ~seq v (k + 1)
+    else place t ~time_ns ~born_ns ~src ~seq v (k + 1)
   end
 
-let add t ~time_ns ~seq v =
+let add t ~time_ns ~born_ns ~src ~seq v =
   if time_ns < t.frontier then false
-  else if place t ~time_ns ~seq v 0 then begin
+  else if place t ~time_ns ~born_ns ~src ~seq v 0 then begin
     t.count <- t.count + 1;
     if time_ns < t.lb then t.lb <- time_ns;
     true
@@ -145,7 +161,7 @@ let next_occupied_window t =
   !best
 
 (* Flush one slot: level 0 empties into the heap with original (time,
-   seq) pairs — dead entries are purged and counted — while higher
+   born, src, seq) keys — dead entries are purged and counted — while higher
    levels cascade each entry down ([place] from level 0 always succeeds
    here because the frontier sits at the slot's window start, putting
    the whole window within reach of the ring below). *)
@@ -157,7 +173,10 @@ let flush_slot t ~level idx ~into ~dropped =
     s.s_len <- 0;
     for i = 0 to n - 1 do
       let v = vals.(i) in
-      let time_ns = s.s_times.(i) and seq = s.s_seqs.(i) in
+      let time_ns = s.s_times.(i)
+      and born_ns = s.s_borns.(i)
+      and src = s.s_srcs.(i)
+      and seq = s.s_seqs.(i) in
       vals.(i) <- t.dummy;
       if not (t.keep v) then begin
         t.count <- t.count - 1;
@@ -165,12 +184,12 @@ let flush_slot t ~level idx ~into ~dropped =
       end
       else if level = 0 then begin
         t.count <- t.count - 1;
-        Event_queue.add_at_ns into ~time_ns ~seq v
+        Event_queue.add_at_ns into ~time_ns ~born_ns ~src ~seq v
       end
-      else if not (place t ~time_ns ~seq v 0) then begin
+      else if not (place t ~time_ns ~born_ns ~src ~seq v 0) then begin
         (* unreachable by the window argument above; stay safe anyway *)
         t.count <- t.count - 1;
-        Event_queue.add_at_ns into ~time_ns ~seq v
+        Event_queue.add_at_ns into ~time_ns ~born_ns ~src ~seq v
       end
     done
   end
@@ -250,6 +269,8 @@ let compact t =
         if t.keep vals.(i) then begin
           if !kept <> i then begin
             s.s_times.(!kept) <- s.s_times.(i);
+            s.s_borns.(!kept) <- s.s_borns.(i);
+            s.s_srcs.(!kept) <- s.s_srcs.(i);
             s.s_seqs.(!kept) <- s.s_seqs.(i);
             vals.(!kept) <- vals.(i)
           end;

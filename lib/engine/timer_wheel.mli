@@ -25,7 +25,8 @@ val create :
     [dummy] pads vacated payload slots; entries failing [keep] are purged
     (and counted) whenever their slot is flushed or compacted. *)
 
-val add : 'a t -> time_ns:int -> seq:int -> 'a -> bool
+val add :
+  'a t -> time_ns:int -> born_ns:int -> src:int -> seq:int -> 'a -> bool
 (** Stage an entry; [false] if [time_ns] is behind the frontier or past
     the horizon (caller must use the overflow heap).  [seq] is the
     caller's tie-break rank, carried through to the heap verbatim. *)

@@ -103,7 +103,7 @@ let simulate opts scheme plan =
       start_at = Scenario.warmup scn;
     }
   in
-  let fct = Workload.Websearch.run ~sched ~rng:(Scenario.rng scn) ~conns cfg in
+  let fct = Scenario.run_websearch scn ~rng:(Scenario.rng scn) ~conns cfg in
   Faults.Fault_engine.stop engine;
   Scenario.quiesce scn;
   fct
@@ -212,7 +212,10 @@ let run ?domains opts =
      are identical at any domain count.  Audited runs stay serial — the
      auditor's tables are global. *)
   let schemes = Array.of_list opts.schemes in
-  if !Analysis.Audit.on then Array.map (run_scheme opts) schemes
+  if !Analysis.Audit.on || !Scenario.default_shards >= 2 then
+    (* sharded runs parallelize inside each scheme's scenario — fanning
+       schemes out on top of that would nest domain pools *)
+    Array.map (run_scheme opts) schemes
   else Domain_pool.run ?domains (run_scheme opts) schemes
 
 let ms v = if Float.is_nan v then nan else 1e3 *. v

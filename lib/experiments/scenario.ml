@@ -34,6 +34,8 @@ let scheme_of_string s =
   | _ -> None
 
 type params = {
+  leaves : int;
+  spines : int;
   hosts_per_leaf : int;
   host_rate_bps : float;
   fabric_rate_bps : float;
@@ -59,6 +61,8 @@ type params = {
 
 let default_params =
   {
+    leaves = 2;
+    spines = 2;
     hosts_per_leaf = 8;
     host_rate_bps = 10e9;
     fabric_rate_bps = 20e9;
@@ -84,6 +88,12 @@ let default_params =
     seed = 1;
   }
 
+type pdes = {
+  shard : Shard.t;
+  partition : Partition.t;
+  scheds : Scheduler.t array; (* indexed by shard id *)
+}
+
 type t = {
   sched : Scheduler.t;
   fabric : Fabric.t;
@@ -99,9 +109,19 @@ type t = {
   letflow : Fabric_lb.Letflow.t option;
   clove_cfg : Clove.Clove_config.t;
   dist : Stats.Cdf.t;
+  shards : int; (* 0 = legacy serial; 1 = PDES serial fallback; >= 2 sharded *)
+  pdes : pdes option; (* Some iff shards >= 2 *)
+  mutable conn_shards : int list; (* per conn id, src-host shard; reversed *)
   mutable next_conn : int;
   mutable next_port : int;
 }
+
+(* Shard count used by [build] when the caller passes none — the CLI's
+   [--shards] flag lands here.  0 keeps the legacy single-scheduler
+   path (byte-exact with historical runs); 1 is the PDES serial
+   fallback (same schedule, canonicalized stats ordering, comparable
+   with any width); >= 2 partitions the fabric across domains. *)
+let default_shards = ref 0
 
 let sched t = t.sched
 let fabric t = t.fabric
@@ -123,8 +143,13 @@ let stack t host =
   | Some s -> s
   | None -> invalid_arg "Scenario.stack: unknown host"
 
+let client_leaves params = max 1 (params.leaves / 2)
+
 let bisection_bps t =
-  float_of_int t.params.hosts_per_leaf *. t.params.host_rate_bps
+  (* aggregate client-side NIC rate: leaves/2 client leaves worth of
+     hosts (the historical [hosts_per_leaf * host_rate] at 2 leaves) *)
+  float_of_int (t.params.hosts_per_leaf * client_leaves t.params)
+  *. t.params.host_rate_bps
 
 let warmup _t = Sim_time.ms 20
 
@@ -139,11 +164,23 @@ let vswitch_scheme = function
   | S_conga -> Clove.Vswitch.Direct
   | S_letflow -> Clove.Vswitch.Direct
 
-let build ~scheme params =
+let build ?shards ~scheme params =
+  let shards = match shards with Some s -> s | None -> !default_shards in
+  if shards < 0 then invalid_arg "Scenario.build: shards must be >= 0";
+  if params.leaves < 2 || params.spines < 1 then
+    invalid_arg "Scenario.build: need at least 2 leaves and 1 spine";
+  (* Graceful degradation keeps the digest contract ("identical at any
+     --shards >= 1") for every scenario: MPTCP couples both endpoints on
+     one scheduler so it runs the serial fallback, and one shard per
+     leaf is the finest partition so wider requests clamp. *)
+  let shards =
+    if shards >= 2 && scheme = S_mptcp then 1 else min shards params.leaves
+  in
   let sched = Scheduler.create () in
   let rng = Rng.create params.seed in
   let ls =
-    Topology.leaf_spine ~leaves:2 ~spines:2 ~hosts_per_leaf:params.hosts_per_leaf
+    Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
+      ~hosts_per_leaf:params.hosts_per_leaf
       ~parallel:2 ~host_rate_bps:params.host_rate_bps
       ~fabric_rate_bps:params.fabric_rate_bps ~host_delay:(Sim_time.us 2)
       ~fabric_delay:(Sim_time.us 2)
@@ -157,7 +194,53 @@ let build ~scheme params =
       seed = params.seed;
     }
   in
-  let fabric = Fabric.create ~sched ~config ls.Topology.topo in
+  (* Sharded layout: each leaf and its hosts form a shard (spines round-
+     robin), so host links never cross a boundary and every cut edge is a
+     leaf-spine link — the lookahead window is the fabric hop delay. *)
+  let pdes_plan =
+    if shards < 2 then None
+    else begin
+      let width = shards in
+      let n = Topology.node_count ls.Topology.topo in
+      let node_shard = Array.make n 0 in
+      Array.iteri
+        (fun leaf hosts ->
+          node_shard.(ls.Topology.leaf_ids.(leaf)) <- leaf mod width;
+          Array.iter (fun h -> node_shard.(h) <- leaf mod width) hosts)
+        ls.Topology.host_ids;
+      Array.iteri
+        (fun j spine -> node_shard.(spine) <- j mod width)
+        ls.Topology.spine_ids;
+      let partition =
+        Partition.plan ~topo:ls.Topology.topo ~nshards:width
+          ~shard_of_node:(fun id -> node_shard.(id))
+          ()
+      in
+      let scheds = Array.init width (fun _ -> Scheduler.create ()) in
+      Some (partition, scheds)
+    end
+  in
+  let fabric =
+    match pdes_plan with
+    | None -> Fabric.create ~sched ~config ls.Topology.topo
+    | Some (partition, scheds) ->
+      Fabric.create
+        ~sched_of_node:(fun id -> scheds.(Partition.shard_of_node partition id))
+        ~sched ~config ls.Topology.topo
+  in
+  let pdes =
+    match pdes_plan with
+    | None -> None
+    | Some (partition, scheds) ->
+      Partition.attach partition ~fabric ~scheds;
+      let shard =
+        Shard.create ~scheds ~global:sched
+          ~window_ns:(Partition.window_ns partition)
+          ~exchange:(fun () -> Partition.exchange partition)
+          ()
+      in
+      Some { shard; partition; scheds }
+  in
   Fabric.program_routes fabric;
   (* the paper's failure: one of the two 40G links between spine S2 and
      leaf L2 *)
@@ -221,8 +304,15 @@ let build ~scheme params =
       Hashtbl.replace vswitches (Host.id host) v)
     (Fabric.hosts fabric);
   let host_of_node id = Fabric.host_by_addr fabric (Addr.of_int id) in
-  let clients = Array.map host_of_node ls.Topology.host_ids.(0) in
-  let servers = Array.map host_of_node ls.Topology.host_ids.(1) in
+  (* first half of the leaves hold clients, the rest servers; at the
+     default 2 leaves this is the historical leaf-0/leaf-1 split *)
+  let ncl = client_leaves params in
+  let leaf_hosts lo hi =
+    Array.map host_of_node
+      (Array.concat (List.init (hi - lo) (fun i -> ls.Topology.host_ids.(lo + i))))
+  in
+  let clients = leaf_hosts 0 ncl in
+  let servers = leaf_hosts ncl params.leaves in
   let letflow =
     if scheme = S_letflow then
       Some (Fabric_lb.Letflow.install ~rng:(Rng.split_named rng "letflow") fabric)
@@ -257,6 +347,9 @@ let build ~scheme params =
         (if params.data_mining then Workload.Flow_size_dist.data_mining
          else Workload.Flow_size_dist.web_search)
         params.size_scale;
+    shards;
+    pdes;
+    conn_shards = [];
     next_conn = 0;
     next_port = 20000;
   }
@@ -272,9 +365,15 @@ let tcp_cfg t =
   if t.params.guest_dctcp then Transport.Tcp_config.dctcp
   else Transport.Tcp_config.default
 
+let shard_of_host t host =
+  match t.pdes with
+  | None -> 0
+  | Some p -> Partition.shard_of_node p.partition (Host.id host)
+
 let connect t ~src ~dst =
   let tcp_cfg = tcp_cfg t in
   let conn_id, base_port = fresh_conn t in
+  t.conn_shards <- shard_of_host t src :: t.conn_shards;
   let v_src = vswitch t src and v_dst = vswitch t dst in
   Clove.Vswitch.add_destination v_src (Host.addr dst);
   Clove.Vswitch.add_destination v_dst (Host.addr src);
@@ -282,6 +381,7 @@ let connect t ~src ~dst =
   let tx_dst pkt = Clove.Vswitch.tx v_dst pkt in
   match t.scheme with
   | S_mptcp ->
+    (* one scheduler spans both endpoints; [build] rejects this sharded *)
     let conn =
       Transport.Mptcp.create ~sched:t.sched ~cfg:tcp_cfg ~conn_id
         ~subflows:t.params.mptcp_subflows ~src:(Host.addr src) ~dst:(Host.addr dst)
@@ -290,14 +390,16 @@ let connect t ~src ~dst =
     in
     fun ~bytes ~on_complete -> Transport.Mptcp.send conn ~bytes ~on_complete
   | _ ->
+    (* each endpoint on its own host's scheduler: the fabric scheduler in
+       serial builds, the host's shard under PDES *)
     let sender =
-      Transport.Tcp.create_sender ~sched:t.sched ~cfg:tcp_cfg ~conn_id
+      Transport.Tcp.create_sender ~sched:(Host.sched src) ~cfg:tcp_cfg ~conn_id
         ~src:(Host.addr src) ~dst:(Host.addr dst) ~src_port:base_port ~dst_port:80
         ~tx:tx_src ()
     in
     Transport.Stack.register_sender (stack t src) sender;
     let receiver =
-      Transport.Tcp.create_receiver ~sched:t.sched ~cfg:tcp_cfg ~conn_id
+      Transport.Tcp.create_receiver ~sched:(Host.sched dst) ~cfg:tcp_cfg ~conn_id
         ~addr:(Host.addr dst) ~peer:(Host.addr src) ~src_port:80 ~dst_port:base_port
         ~tx:tx_dst ()
     in
@@ -307,10 +409,55 @@ let connect t ~src ~dst =
 let conga t = t.conga
 let total_drops t = Fabric.total_drops t.fabric
 let total_marks t = Fabric.total_marks t.fabric
+let shards t = t.shards
+let shard t = match t.pdes with Some p -> Some p.shard | None -> None
+
+(* Run the websearch workload on this scenario, honoring its execution
+   mode.  [conns] must be every connection created on [t], in creation
+   order, so connection indices map onto the tracked source shards. *)
+let run_websearch t ~rng ~conns cfg =
+  match t.pdes with
+  | None ->
+    let stats = Workload.Websearch.run ~sched:t.sched ~rng ~conns cfg in
+    (* the serial PDES fallback canonicalizes record order like every
+       other width; the legacy path (shards = 0) keeps its historical
+       completion-order stats byte-exactly *)
+    if t.shards >= 1 then Workload.Fct_stats.canonicalize stats;
+    stats
+  | Some p ->
+    let width = Array.length p.scheds in
+    let conn_shard = Array.of_list (List.rev t.conn_shards) in
+    if Array.length conns <> Array.length conn_shard then
+      invalid_arg
+        "Scenario.run_websearch: pass every connection of this scenario, in \
+         creation order";
+    (* shard-private sinks: each connection records and decrements on its
+       source host's shard, so the workload adds no cross-shard state *)
+    let stats = Array.init width (fun _ -> Workload.Fct_stats.create ()) in
+    let remaining = Array.init width (fun _ -> ref 0) in
+    Array.iteri
+      (fun i _ ->
+        let r = remaining.(conn_shard.(i)) in
+        r := !r + cfg.Workload.Websearch.jobs_per_conn)
+      conns;
+    Workload.Websearch.arm
+      ~sched_of_conn:(fun i -> p.scheds.(conn_shard.(i)))
+      ~stats_of_conn:(fun i -> stats.(conn_shard.(i)))
+      ~remaining_of_conn:(fun i -> remaining.(conn_shard.(i)))
+      ~rng ~conns cfg;
+    Shard.drive p.shard ~finished:(fun () ->
+        Array.for_all (fun r -> !r = 0) remaining);
+    let merged =
+      Array.fold_left Workload.Fct_stats.merge (Workload.Fct_stats.create ())
+        stats
+    in
+    Workload.Fct_stats.canonicalize merged;
+    merged
 
 let quiesce t =
   Det.iter_sorted ~compare:Int.compare (fun _ v -> Clove.Vswitch.stop v) t.vswitches;
   Det.iter_sorted ~compare:Int.compare (fun _ s -> Transport.Stack.stop_all s) t.stacks;
+  (match t.pdes with Some p -> Shard.shutdown p.shard | None -> ());
   ignore t.conga;
   ignore t.letflow;
   ignore t.clove_cfg;

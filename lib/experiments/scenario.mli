@@ -22,6 +22,8 @@ val scheme_name : scheme -> string
 val scheme_of_string : string -> scheme option
 
 type params = {
+  leaves : int;  (** leaf count; first half client leaves, rest servers *)
+  spines : int;
   hosts_per_leaf : int;
   host_rate_bps : float;
   fabric_rate_bps : float;
@@ -53,13 +55,37 @@ type params = {
 }
 
 val default_params : params
-(** 8 hosts/leaf at 10G, 20G fabric links, ECN threshold 20, symmetric,
-    1 connection per client, 4 MPTCP subflows, sizes scaled by 0.25. *)
+(** The paper's testbed: 2 leaves, 2 spines, 8 hosts/leaf at 10G, 20G
+    fabric links, ECN threshold 20, symmetric, 1 connection per client,
+    4 MPTCP subflows, sizes scaled by 0.25. *)
 
 type t
 
-val build : scheme:scheme -> params -> t
+val default_shards : int ref
+(** Shard count [build] uses when the caller passes none (the CLI's
+    [--shards]).  0 = legacy serial execution, byte-exact with
+    historical runs; 1 = PDES serial fallback (same schedule,
+    canonicalized stats ordering — digest-comparable with any width);
+    [n >= 2] = conservative time-window PDES over [n] domains, one
+    shard per leaf (spines round-robin). *)
+
+val build : ?shards:int -> scheme:scheme -> params -> t
+(** A width beyond the leaf count clamps (one shard per leaf is the
+    finest partition) and MPTCP always degrades to the serial fallback
+    (one scheduler spans both of its endpoints), so digests stay
+    comparable at any requested [shards >= 1]; {!shards} reports the
+    effective width. *)
+
 val sched : t -> Scheduler.t
+(** The control scheduler: the only scheduler in serial builds; under
+    PDES the global scheduler fault plans arm on, advanced at window
+    barriers while the shards are quiescent. *)
+
+val shards : t -> int
+val shard : t -> Shard.t option
+(** The PDES coordinator when [shards >= 2] (barrier/stall counters for
+    benchmarks). *)
+
 val fabric : t -> Fabric.t
 
 val leaf_spine : t -> Topology.leaf_spine
@@ -90,7 +116,19 @@ val bisection_bps : t -> float
 val warmup : t -> Sim_time.span
 (** Recommended workload start time: enough for path discovery. *)
 
+val run_websearch :
+  t -> rng:Rng.t -> conns:Workload.Websearch.submit array -> Workload.Websearch.config ->
+  Workload.Fct_stats.t
+(** Run the websearch workload to completion under this scenario's
+    execution mode: the legacy drive loop at [shards = 0]; the same loop
+    with canonicalized stats at [shards = 1]; armed per-shard and driven
+    through the window-barrier coordinator at [shards >= 2], where each
+    connection schedules, records and counts down entirely on its source
+    host's shard.  [conns] must be every connection created on [t], in
+    creation order.  FCT digests are byte-identical at every PDES width. *)
+
 val total_drops : t -> int
 val total_marks : t -> int
 val quiesce : t -> unit
-(** Stop daemons and retransmission timers after a run. *)
+(** Stop daemons and retransmission timers after a run; under PDES also
+    shuts the shard coordinator's domain pool down. *)

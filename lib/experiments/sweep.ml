@@ -37,9 +37,7 @@ let websearch_run ~scheme ~params ~load ~jobs_per_conn =
       start_at = Scenario.warmup scn;
     }
   in
-  let fct =
-    Workload.Websearch.run ~sched:(Scenario.sched scn) ~rng:(Scenario.rng scn) ~conns cfg
-  in
+  let fct = Scenario.run_websearch scn ~rng:(Scenario.rng scn) ~conns cfg in
   Scenario.quiesce scn;
   fct
 
@@ -50,7 +48,11 @@ let websearch_run ~scheme ~params ~load ~jobs_per_conn =
    disambiguates hash-bucket collisions; an earlier version keyed on the
    output of [Hashtbl.hash_param], which silently aliased any two
    configurations that happened to share a hash. *)
-type memo_key = Scenario.scheme * Scenario.params * float * int * int list
+type memo_key =
+  Scenario.scheme * Scenario.params * float * int * int list * int
+(* the trailing int is the shard width: legacy (0) and PDES results are
+   behaviorally identical but not byte-identical in stats ordering, so
+   they must not alias in the memo *)
 
 let memo : (memo_key, Workload.Fct_stats.t) Hashtbl.t = Hashtbl.create 64
 
@@ -75,11 +77,14 @@ let run_points_parallel ?domains points =
      the caller's aggregation order — and therefore every figure — is
      identical for 1 and N domains.  The invariant auditor's tables are
      global and unsynchronized: audited runs stay serial. *)
-  if !Analysis.Audit.on then Array.map run_point points
+  if !Analysis.Audit.on || !Scenario.default_shards >= 2 then
+    (* sharded runs parallelize inside each point — running points
+       concurrently on top of that would nest domain pools *)
+    Array.map run_point points
   else Domain_pool.run ?domains run_point points
 
 let memo_key_of (scheme, params, load, opts) =
-  (scheme, params, load, opts.jobs_per_conn, opts.seeds)
+  (scheme, params, load, opts.jobs_per_conn, opts.seeds, !Scenario.default_shards)
 
 let prefetch_points ?domains specs =
   (* expand each not-yet-memoized spec into one task per seed, fan the
@@ -139,7 +144,9 @@ let websearch_point ~scheme ~params ~load ~opts =
     | None -> assert false)
 
 let incast_run ~scheme ~params ~fanout ~total_bytes ~requests =
-  let scn = Scenario.build ~scheme params in
+  (* the incast driver steps the scenario scheduler directly, so it
+     always runs on the legacy serial build whatever --shards says *)
+  let scn = Scenario.build ~shards:0 ~scheme params in
   let client = (Scenario.clients scn).(0) in
   let submits =
     Array.map

@@ -2,34 +2,37 @@ type metric = { mutable value : float; mutable stamp : Sim_time.t }
 
 type leaf_state = {
   sw : Switch.t;
+  lsched : Scheduler.t; (* the leaf's own clock: shard-local under PDES *)
   uplinks : int array; (* port ids; lbtag = index *)
   lbtag_of_port : (int, int) Hashtbl.t;
   cong_to : (int * int, metric) Hashtbl.t; (* (dst_leaf, lbtag) *)
   cong_from : (int * int, metric) Hashtbl.t; (* (src_leaf, lbtag) *)
   fb_ptr : (int, int) Hashtbl.t; (* dst_leaf -> next lbtag to piggyback *)
   flowlets : int Clove.Flowlet.t; (* decision = lbtag *)
-}
-
-type t = {
-  sched : Scheduler.t;
-  metric_age : Sim_time.span;
-  leaves : (int, leaf_state) Hashtbl.t; (* leaf node id *)
-  leaf_of_host : (int, int) Hashtbl.t; (* host node id -> leaf node id *)
   mutable decisions : int;
 }
 
-let read_metric t tbl key =
+type t = {
+  metric_age : Sim_time.span;
+  leaves : (int, leaf_state) Hashtbl.t; (* leaf node id *)
+  leaf_of_host : (int, int) Hashtbl.t; (* host node id -> leaf node id *)
+}
+
+(* metric stamps read and write the owning leaf's clock, so all state a
+   leaf touches stays on its shard *)
+let read_metric t ls tbl key =
   match Hashtbl.find_opt tbl key with
   | None -> 0.0
   | Some m ->
-    if Sim_time.(Scheduler.now t.sched >= add m.stamp t.metric_age) then 0.0 else m.value
+    if Sim_time.(Scheduler.now ls.lsched >= add m.stamp t.metric_age) then 0.0
+    else m.value
 
-let write_metric t tbl key v =
+let write_metric ls tbl key v =
   match Hashtbl.find_opt tbl key with
   | Some m ->
     m.value <- v;
-    m.stamp <- Scheduler.now t.sched
-  | None -> Hashtbl.replace tbl key { value = v; stamp = Scheduler.now t.sched }
+    m.stamp <- Scheduler.now ls.lsched
+  | None -> Hashtbl.replace tbl key { value = v; stamp = Scheduler.now ls.lsched }
 
 let flow_key_of_packet pkt =
   match pkt.Packet.payload with
@@ -38,14 +41,14 @@ let flow_key_of_packet pkt =
   | Packet.Probe_reply r -> Hashtbl.hash r.Packet.reply_probe_id
 
 (* destination-leaf processing: learn from arriving metadata *)
-let absorb t ls pkt =
+let absorb ls pkt =
   match pkt.Packet.conga with
   | None -> ()
   | Some md ->
     if md.Packet.dst_leaf = Switch.id ls.sw then begin
-      write_metric t ls.cong_from (md.Packet.src_leaf, md.Packet.lbtag) md.Packet.ce;
+      write_metric ls ls.cong_from (md.Packet.src_leaf, md.Packet.lbtag) md.Packet.ce;
       if md.Packet.fb_lbtag >= 0 then
-        write_metric t ls.cong_to (md.Packet.src_leaf, md.Packet.fb_lbtag) md.Packet.fb_ce
+        write_metric ls ls.cong_to (md.Packet.src_leaf, md.Packet.fb_lbtag) md.Packet.fb_ce
     end
 
 let pick_feedback t ls ~dst_leaf =
@@ -55,7 +58,7 @@ let pick_feedback t ls ~dst_leaf =
   else begin
     let ptr = match Hashtbl.find_opt ls.fb_ptr dst_leaf with Some p -> p | None -> 0 in
     Hashtbl.replace ls.fb_ptr dst_leaf ((ptr + 1) mod n);
-    (ptr, read_metric t ls.cong_from (dst_leaf, ptr))
+    (ptr, read_metric t ls ls.cong_from (dst_leaf, ptr))
   end
 
 let choose_uplink t ls ~dst_leaf ~candidates =
@@ -67,7 +70,7 @@ let choose_uplink t ls ~dst_leaf ~candidates =
       | None -> ()
       | Some tag ->
         let local = Link.utilization (Switch.port_link ls.sw port) in
-        let remote = read_metric t ls.cong_to (dst_leaf, tag) in
+        let remote = read_metric t ls ls.cong_to (dst_leaf, tag) in
         let cost = Float.max local remote in
         if cost < !best_cost then begin
           best_cost := cost;
@@ -78,7 +81,7 @@ let choose_uplink t ls ~dst_leaf ~candidates =
 
 let leaf_picker t ls _sw ~in_port pkt ~candidates =
   ignore in_port;
-  absorb t ls pkt;
+  absorb ls pkt;
   let dst = Packet.route_dst pkt in
   match Hashtbl.find_opt t.leaf_of_host (Addr.to_int dst) with
   | Some dst_leaf when dst_leaf <> Switch.id ls.sw && Array.length candidates > 0 ->
@@ -86,7 +89,7 @@ let leaf_picker t ls _sw ~in_port pkt ~candidates =
     let port =
       Clove.Flowlet.touch ls.flowlets ~key ~pick:(fun ~flowlet_id ->
           ignore flowlet_id;
-          t.decisions <- t.decisions + 1;
+          ls.decisions <- ls.decisions + 1;
           choose_uplink t ls ~dst_leaf ~candidates)
     in
     (* the flowlet's cached port may have failed since; re-pick if so *)
@@ -113,16 +116,9 @@ let leaf_picker t ls _sw ~in_port pkt ~candidates =
 
 
 let install ?(flowlet_gap = Sim_time.us 500) ?(metric_age = Sim_time.ms 10) fabric =
-  let sched = Fabric.sched fabric in
   let topo = Fabric.topology fabric in
   let t =
-    {
-      sched;
-      metric_age;
-      leaves = Hashtbl.create 8;
-      leaf_of_host = Hashtbl.create 64;
-      decisions = 0;
-    }
+    { metric_age; leaves = Hashtbl.create 8; leaf_of_host = Hashtbl.create 64 }
   in
   (* map hosts to their leaf *)
   Array.iter
@@ -154,12 +150,16 @@ let install ?(flowlet_gap = Sim_time.us 500) ?(metric_age = Sim_time.ms 10) fabr
         let ls =
           {
             sw;
+            lsched = Switch.sched sw;
             uplinks;
             lbtag_of_port;
             cong_to = Hashtbl.create 32;
             cong_from = Hashtbl.create 32;
             fb_ptr = Hashtbl.create 8;
-            flowlets = Clove.Flowlet.create ~sched ~gap:flowlet_gap ~dummy:0;
+            flowlets =
+              Clove.Flowlet.create ~sched:(Switch.sched sw) ~gap:flowlet_gap
+                ~dummy:0;
+            decisions = 0;
           }
         in
         Hashtbl.replace t.leaves (Switch.id sw) ls;
@@ -172,11 +172,12 @@ let install ?(flowlet_gap = Sim_time.us 500) ?(metric_age = Sim_time.ms 10) fabr
 let flowlets_started t =
   Hashtbl.fold (fun _ ls acc -> acc + Clove.Flowlet.flowlets_started ls.flowlets) t.leaves 0
 
-let decisions t = t.decisions
+let decisions t =
+  Hashtbl.fold (fun _ ls acc -> acc + ls.decisions) t.leaves 0
 
 let cong_to_leaf t ~leaf ~dst_leaf =
   match Hashtbl.find_opt t.leaves leaf with
   | None -> [||]
   | Some ls ->
-    Array.mapi (fun tag _ -> read_metric t ls.cong_to (dst_leaf, tag)) ls.uplinks
+    Array.mapi (fun tag _ -> read_metric t ls ls.cong_to (dst_leaf, tag)) ls.uplinks
 

@@ -33,12 +33,13 @@ let picker t sw ~in_port pkt ~candidates =
   end
 
 let install ?(flowlet_gap = Sim_time.us 500) ~rng fabric =
-  let sched = Fabric.sched fabric in
   let t = { tables = Det.create 8; rngs = Det.create 8 } in
   Array.iter
     (fun sw ->
+      (* each table reads its own switch's clock: identical to the fabric
+         clock in serial builds, and shard-local under PDES *)
       Hashtbl.replace t.tables (Switch.id sw)
-        (Clove.Flowlet.create ~sched ~gap:flowlet_gap ~dummy:0);
+        (Clove.Flowlet.create ~sched:(Switch.sched sw) ~gap:flowlet_gap ~dummy:0);
       Hashtbl.replace t.rngs (Switch.id sw)
         (Rng.split_named rng ("switch:" ^ string_of_int (Switch.id sw)));
       Switch.set_picker sw (picker t))

@@ -49,7 +49,11 @@ let all_links t =
 let make_queue config = Pkt_queue.create ~capacity_pkts:config.queue_capacity_pkts
     ~ecn_threshold_pkts:config.ecn_threshold_pkts ()
 
-let create ~sched ~config topo =
+let create ?sched_of_node ~sched ~config topo =
+  (* [sched_of_node] shards the fabric for PDES: each entity (and each
+     link, keyed by its source node) lives on its shard's scheduler.
+     The default — everything on [sched] — is the serial build. *)
+  let sofn = match sched_of_node with Some f -> f | None -> fun _ -> sched in
   let nodes = Topology.nodes topo in
   let n = Array.length nodes in
   let entities = Array.make n (E_host (Host.create ~sched ~id:(-1) ~addr:(Addr.of_int 0))) in
@@ -58,12 +62,12 @@ let create ~sched ~config topo =
     (fun id node ->
       match node with
       | Topology.Host_node _ ->
-        let h = Host.create ~sched ~id ~addr:(Addr.of_int id) in
+        let h = Host.create ~sched:(sofn id) ~id ~addr:(Addr.of_int id) in
         entities.(id) <- E_host h;
         hosts := h :: !hosts
       | Topology.Switch_node (level, _) ->
         let s =
-          Switch.create ~sched ~id ~level
+          Switch.create ~sched:(sofn id) ~id ~level
             ~ecmp_seed:(Ecmp_hash.hash_tuple ~seed:config.seed (id, 7, 7, 7))
             ~index_preserving:config.index_preserving ~int_capable:config.int_capable ()
         in
@@ -83,7 +87,8 @@ let create ~sched ~config topo =
   List.iter
     (fun (e : Topology.edge) ->
       let mk src dst =
-        Link.create ~sched ~rate_bps:e.Topology.rate_bps ~prop_delay:e.Topology.delay
+        Link.create ~sched:(sofn src) ~rate_bps:e.Topology.rate_bps
+          ~prop_delay:e.Topology.delay
           ~queue:(make_queue config)
           ~label:(Printf.sprintf "n%d->n%d/%d" src dst e.Topology.bundle_index)
           ()

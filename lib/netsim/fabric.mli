@@ -19,7 +19,17 @@ type config = {
 
 val default_config : config
 
-val create : sched:Scheduler.t -> config:config -> Topology.t -> t
+val create :
+  ?sched_of_node:(int -> Scheduler.t) ->
+  sched:Scheduler.t ->
+  config:config ->
+  Topology.t ->
+  t
+(** [sched_of_node] (PDES builds) assigns each node — and each link,
+    keyed by its source node — to its shard's scheduler; [sched] remains
+    the control scheduler returned by {!sched} (fault plans,
+    reconvergence).  Omitted, everything runs on [sched]: the serial
+    build. *)
 
 val sched : t -> Scheduler.t
 val topology : t -> Topology.t

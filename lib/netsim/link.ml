@@ -22,10 +22,19 @@ type t = {
      index into [tx_slots] (usually one in flight, but a down/up flap can
      briefly overlap two); wire deliveries are strictly FIFO (constant
      [prop_delay]) so [prop] needs no per-event identity at all *)
+  src : int; (* construction-order id ranking this link's events *)
   mutable k_txdone : int;
   mutable k_deliver : int;
   mutable tx_slots : Packet.t array; (* [Packet.placeholder] = free slot *)
   prop : Packet.t Ring.t;
+  (* cross-shard (PDES) boundary mode: instead of scheduling the wire
+     delivery locally, completed transmissions hand (deliver_time_ns,
+     packet) to the partition's exchange buffer; the coordinator calls
+     [inject] at the next window barrier, which re-enters the normal
+     delivery path on the destination shard's scheduler *)
+  mutable boundary : (born_ns:int -> time_ns:int -> Packet.t -> unit) option;
+  mutable inject_sched : Scheduler.t option; (* destination shard *)
+  mutable k_inject : int;
 }
 
 let set_sink t f = t.sink <- Some f
@@ -85,10 +94,19 @@ let rec on_txdone t slot =
      t.brownout_drops <- t.brownout_drops + 1;
      audit_drop "brownout"
    end
-   else begin
-     Ring.push t.prop pkt;
-     Scheduler.schedule_tag t.sched ~after:t.prop_delay ~kind:t.k_deliver ~arg:0
-   end);
+   else
+     match t.boundary with
+     | Some push ->
+       (* exchange buffers carry absolute integer ns, the PDES barrier
+          currency; the txdone instant rides along as the delivery's
+          insertion rank *)
+       (* lint: allow sema-time-boundary *)
+       let born_ns = Sim_time.to_ns (Scheduler.now t.sched) in
+       (* lint: allow sema-time-boundary *)
+       push ~born_ns ~time_ns:(born_ns + Sim_time.span_ns t.prop_delay) pkt
+     | None ->
+       Ring.push t.prop pkt;
+       Scheduler.schedule_tag t.sched ~after:t.prop_delay ~kind:t.k_deliver ~arg:0);
   start_tx t
 
 and on_deliver t =
@@ -113,7 +131,7 @@ and start_tx t =
         ~arg:(alloc_tx_slot t pkt)
     else
       let (_ : Scheduler.handle) =
-        Scheduler.schedule t.sched ~after:tx (fun () ->
+        Scheduler.schedule ~src:t.src t.sched ~after:tx (fun () ->
             (* propagation: packet reaches the far end after prop_delay; the
                serializer is free to start the next packet immediately *)
             (if not t.is_up then begin
@@ -125,15 +143,23 @@ and start_tx t =
                audit_drop "brownout"
              end
              else
-               let (_ : Scheduler.handle) =
-                 Scheduler.schedule t.sched ~after:t.prop_delay (fun () ->
-                     if t.is_up then deliver t pkt
-                     else begin
-                       t.down_drops <- t.down_drops + 1;
-                       audit_drop "link-down"
-                     end)
-               in
-               ());
+               match t.boundary with
+               | Some push ->
+                 (* lint: allow sema-time-boundary *)
+                 let born_ns = Sim_time.to_ns (Scheduler.now t.sched) in
+                 (* lint: allow sema-time-boundary *)
+                 push ~born_ns ~time_ns:(born_ns + Sim_time.span_ns t.prop_delay) pkt
+               | None ->
+                 let (_ : Scheduler.handle) =
+                   Scheduler.schedule ~src:t.src t.sched ~after:t.prop_delay
+                     (fun () ->
+                       if t.is_up then deliver t pkt
+                       else begin
+                         t.down_drops <- t.down_drops + 1;
+                         audit_drop "link-down"
+                       end)
+                 in
+                 ());
             start_tx t)
       in
       ()
@@ -149,6 +175,7 @@ let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
       queue;
       dre = Dre.create ~rate_bps sched;
       label;
+      src = Scheduler.fresh_src ();
       sink = None;
       busy = false;
       is_up = true;
@@ -161,13 +188,51 @@ let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
       k_deliver = -1;
       tx_slots = Array.make 2 Packet.placeholder;
       prop = Ring.create ~capacity:8 ~dummy:Packet.placeholder ();
+      boundary = None;
+      inject_sched = None;
+      k_inject = -1;
     }
   in
   (* one handler closure per link for its whole lifetime, not one per
      event: the steady-state transmit path allocates nothing *)
   t.k_txdone <- Scheduler.register_kind sched (fun slot -> on_txdone t slot);
   t.k_deliver <- Scheduler.register_kind sched (fun _ -> on_deliver t);
+  (* all of this link's events rank under one id, so a wire delivery's
+     tie-break does not depend on whether it was scheduled locally
+     (k_deliver) or injected across a PDES boundary (k_inject) *)
+  Scheduler.set_kind_src sched ~kind:t.k_txdone ~src:t.src;
+  Scheduler.set_kind_src sched ~kind:t.k_deliver ~src:t.src;
   t
+
+(* Boundary deliveries reuse the closure-free delivery machinery: the
+   propagation ring stays FIFO (per-link deliver times are monotone —
+   serializer completions are ordered and [prop_delay] is constant — and
+   the exchange drains a window's buffer in generation order), and the
+   injection kind dispatches [on_deliver] on the destination shard's
+   scheduler, so is_up is re-checked at fire time exactly like the
+   serial path. *)
+let set_boundary t ~dest_sched ~push =
+  t.boundary <- Some push;
+  t.inject_sched <- Some dest_sched;
+  if t.k_inject < 0 then begin
+    t.k_inject <- Scheduler.register_kind dest_sched (fun _ -> on_deliver t);
+    (* injected deliveries rank under the link's own id, same as the
+       serial k_deliver path would *)
+    Scheduler.set_kind_src dest_sched ~kind:t.k_inject ~src:t.src
+  end
+
+let inject t ~time_ns ~born_ns pkt =
+  match t.inject_sched with
+  | None -> invalid_arg (Printf.sprintf "Link %s: inject without boundary" t.label)
+  | Some sched ->
+    Ring.push t.prop pkt;
+    (* lookahead guarantees time_ns is beyond the barrier, hence beyond
+       the destination clock; born_ns (the remote txdone instant) becomes
+       the event's tie-break rank so a same-nanosecond tie against a
+       locally scheduled event resolves as the serial engine would *)
+    Scheduler.inject_tag sched ~time_ns ~born_ns ~kind:t.k_inject ~arg:0
+
+let boundary t = t.boundary <> None
 
 let send t pkt =
   if t.is_up then begin

@@ -44,6 +44,34 @@ val set_brownout :
 val clear_brownout : t -> unit
 val browned_out : t -> bool
 
+val set_boundary :
+  t ->
+  dest_sched:Scheduler.t ->
+  push:(born_ns:int -> time_ns:int -> Packet.t -> unit) ->
+  unit
+(** Mark this link as crossing a PDES shard boundary.  Completed
+    transmissions stop scheduling their wire delivery locally and instead
+    hand the packet to [push] (the partition's exchange buffer for this
+    link) with its delivery time and the txdone instant it was generated
+    at; {!inject} later re-enters the delivery path on [dest_sched].
+    Serialization, drops, brownouts and statistics are unaffected — only
+    the final propagation hop is deferred. *)
+
+val inject : t -> time_ns:int -> born_ns:int -> Packet.t -> unit
+(** Deliver a buffered boundary packet at absolute [time_ns] on the
+    destination shard's scheduler (installed by {!set_boundary}).  Called
+    by the exchange drain at a window barrier, in the same per-link order
+    the deliveries were generated; [time_ns] is always beyond the barrier
+    thanks to the lookahead, so this never schedules into the past.
+    [born_ns] — the sending shard's txdone instant — becomes the event's
+    same-timestamp tie-break rank (see {!Scheduler.inject_tag}), keeping
+    pop order identical to the serial engine's single insertion clock.
+    Allocation-free (pushes the pooled packet onto the propagation ring
+    and schedules a tagged event). *)
+
+val boundary : t -> bool
+(** Whether {!set_boundary} has been installed. *)
+
 val utilization : t -> float
 (** DRE-estimated utilization of this link's egress. *)
 

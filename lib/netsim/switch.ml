@@ -14,11 +14,15 @@ type t = {
   mutable nports : int;
   unwired : port;  (* placeholder for unpopulated port slots *)
   routes : int array Int_table.t; (* keyed by [Addr.to_int] *)
-  (* defunctionalized pipeline: forwards fire in FIFO order (constant
-     [latency]), so the pending packet is always the oldest in [pipe]
-     and the tagged event only carries the ingress port as its arg *)
-  mutable k_forward : int;
-  pipe : Packet.t Ring.t;
+  (* defunctionalized pipeline, one lane per ingress port: forwards on a
+     port fire in FIFO order (constant [latency]), so the pending packet
+     is always the oldest in the port's ring.  Per-port dispatch kinds
+     give every lane its own component id: two packets crossing the
+     switch in the same nanosecond rank by ingress port — a fixed
+     arbitration order — rather than by insertion race, which keeps the
+     tie shard-invariant and perturbation-stable *)
+  mutable k_forwards : int array;
+  mutable pipes : Packet.t Ring.t array;
   mutable picker : picker option;
   mutable rx_hook : (t -> in_port:int -> Packet.t -> unit) option;
   mutable tx_hook : (t -> port:int -> Packet.t -> unit) option;
@@ -32,16 +36,6 @@ and picker = t -> in_port:int -> Packet.t -> candidates:int array -> int
 let id t = t.id
 let level t = t.level
 let sched t = t.sched
-
-let add_port t ~link ~peer ~parallel_index =
-  if t.nports = Array.length t.ports then begin
-    let ports = Array.make (2 * t.nports) t.unwired in
-    Array.blit t.ports 0 ports 0 t.nports;
-    t.ports <- ports
-  end;
-  t.ports.(t.nports) <- { link; peer; parallel_index };
-  t.nports <- t.nports + 1;
-  t.nports - 1
 
 let port_count t = t.nports
 
@@ -158,14 +152,47 @@ let receive t ~in_port pkt =
       ()
   end
   else if !Scheduler.defunctionalized then begin
-    Ring.push t.pipe pkt;
-    Scheduler.schedule_tag t.sched ~after:t.latency ~kind:t.k_forward ~arg:in_port
+    Ring.push t.pipes.(in_port) pkt;
+    Scheduler.schedule_tag t.sched ~after:t.latency ~kind:t.k_forwards.(in_port)
+      ~arg:0
   end
   else
+    (* closure fallback ranks under the same per-port id as the tagged
+       lane so both A/B paths break ties identically *)
     let (_ : Scheduler.handle) =
-      Scheduler.schedule t.sched ~after:t.latency (fun () -> forward t ~in_port pkt)
+      Scheduler.schedule
+        ~src:(Scheduler.kind_src t.sched ~kind:t.k_forwards.(in_port))
+        t.sched ~after:t.latency
+        (fun () -> forward t ~in_port pkt)
     in
     ()
+
+(* Ports are wired after [create], in fabric construction order; each
+   registers its pipeline lane's dispatch kind then, so lane ids follow
+   wiring order at any shard count. *)
+let add_port t ~link ~peer ~parallel_index =
+  if t.nports = Array.length t.ports then begin
+    let n = t.nports in
+    let ports = Array.make (2 * n) t.unwired in
+    let kinds = Array.make (2 * n) (-1) in
+    let pipes =
+      Array.init (2 * n) (fun i ->
+          if i < n then t.pipes.(i)
+          else Ring.create ~capacity:16 ~dummy:Packet.placeholder ())
+    in
+    Array.blit t.ports 0 ports 0 n;
+    Array.blit t.k_forwards 0 kinds 0 n;
+    t.ports <- ports;
+    t.k_forwards <- kinds;
+    t.pipes <- pipes
+  end;
+  let p = t.nports in
+  t.ports.(p) <- { link; peer; parallel_index };
+  t.k_forwards.(p) <-
+    Scheduler.register_kind t.sched (fun _ ->
+        forward t ~in_port:p (Ring.pop t.pipes.(p)));
+  t.nports <- p + 1;
+  p
 
 let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
     ?(index_preserving = false) ?(int_capable = false) () =
@@ -199,13 +226,10 @@ let create ~sched ~id ~level ~ecmp_seed ?(latency = Sim_time.ns 250)
       rx_packets = 0;
       routing_drops = 0;
       ttl_drops = 0;
-      k_forward = -1;
-      pipe = Ring.create ~capacity:16 ~dummy:Packet.placeholder ();
+      k_forwards = Array.make 8 (-1);
+      pipes =
+        Array.init 8 (fun _ ->
+            Ring.create ~capacity:16 ~dummy:Packet.placeholder ());
     }
   in
-  (* one handler closure per switch for its whole lifetime; the pipeline
-     pops its FIFO ring for the packet and takes the port from the arg *)
-  t.k_forward <-
-    Scheduler.register_kind sched (fun in_port ->
-        forward t ~in_port (Ring.pop t.pipe));
   t

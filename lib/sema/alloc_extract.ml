@@ -24,6 +24,9 @@ let named_roots =
   [
     "Scheduler.run";
     "Scheduler.step";
+    "Shard.drive";
+    "Partition.exchange";
+    "Link.inject";
     "Timer_wheel.advance";
     "Timer_wheel.advance_next";
     "Link.send";

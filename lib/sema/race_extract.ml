@@ -968,10 +968,32 @@ let analyze units =
     |> List.sort_uniq (fun (a, sa) (b, sb) ->
            match String.compare a b with 0 -> compare_site sa sb | c -> c)
   in
+  (* Parallel entry points reached through stored closures the call
+     resolver cannot see: the PDES shard worker is handed to
+     [Domain_pool.map] as a record field ([Shard.run_to_barrier_task],
+     partially applied once at coordinator construction and re-entered
+     every barrier window on the pool's domains).  Resolved against the
+     node table, so a rename degrades to "root absent" rather than a
+     stale whitelist silently shrinking coverage. *)
+  let named_roots = [ ("Shard", "run_to_barrier_task") ] in
+  let named =
+    List.filter_map
+      (fun (m, v) ->
+        match Hashtbl.find_opt by_name (m, v) with
+        | None -> None
+        | Some id ->
+          List.find_opt (fun n -> n.n_id = id) nodes
+          |> Option.map (fun n -> (id, n.n_site)))
+      named_roots
+  in
   {
     l_nodes = nodes;
     l_calls = calls;
-    l_roots = resolve_entries prog.p_roots;
+    l_roots =
+      List.sort_uniq
+        (fun (a, sa) (b, sb) ->
+          match String.compare a b with 0 -> compare_site sa sb | c -> c)
+        (named @ resolve_entries prog.p_roots);
     l_dispatch = resolve_entries prog.p_dispatch;
     l_files = List.sort String.compare prog.p_files;
   }

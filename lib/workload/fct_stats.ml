@@ -73,19 +73,20 @@ let timeline t ~bucket_sec =
 let mice_cutoff = 100_000
 let elephant_cutoff = 10_000_000
 
+(* sort on all three fields: invariant to completion (hence recording)
+   order, which is exactly what differs across PDES shard counts *)
+let compare_records a b =
+  let c = Float.compare a.start_sec b.start_sec in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.size b.size in
+    if c <> 0 then c else Float.compare a.fct_sec b.fct_sec
+
+let canonicalize t = t.records <- List.sort compare_records t.records
+
 let canonical_dump t =
-  (* sort on all three fields so the dump is invariant to completion
-     (hence recording) order; hex floats round-trip every bit *)
-  let recs =
-    List.sort
-      (fun a b ->
-        let c = Float.compare a.start_sec b.start_sec in
-        if c <> 0 then c
-        else
-          let c = Int.compare a.size b.size in
-          if c <> 0 then c else Float.compare a.fct_sec b.fct_sec)
-      t.records
-  in
+  (* hex floats round-trip every bit *)
+  let recs = List.sort compare_records t.records in
   let buf = Buffer.create (64 * (t.n + 1)) in
   List.iter (fun r -> Printf.bprintf buf "%d %h %h\n" r.size r.start_sec r.fct_sec) recs;
   Buffer.contents buf

@@ -43,6 +43,15 @@ val timeline : t -> bucket_sec:float -> (float * Stats.Summary.t) list
     adapt to a mid-run link failure.  Returns (bucket start, summary) in
     time order. *)
 
+val canonicalize : t -> unit
+(** Reorder the stored records into {!canonical_dump}'s sorted order.
+    Recording order is a scheduling artifact — it differs across PDES
+    shard counts — and order-sensitive folds ({!avg} accumulates floats
+    in list order) would otherwise leak it into reported numbers.  PDES
+    runs canonicalize at every width, including the serial fallback, so
+    all widths fold in the same order; legacy serial runs never call
+    this and keep their historical byte-exact outputs. *)
+
 val canonical_dump : t -> string
 (** A canonical textual dump of every record (size, arrival, FCT as hex
     floats), sorted so the result is invariant to completion order.  Two

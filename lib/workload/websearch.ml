@@ -13,23 +13,30 @@ let arrival_rate_per_conn cfg ~conns =
   let mean_bits = Flow_size_dist.mean_bytes cfg.size_dist *. 8.0 in
   cfg.load *. cfg.bisection_bps /. float_of_int conns /. mean_bits
 
-let run ~sched ~rng ~conns cfg =
+(* Arm every connection's Poisson arrival process without driving the
+   scheduler(s) — the PDES coordinator (or the legacy [run] loop below)
+   owns the drive.  Each connection lives entirely on [sched_of_conn i]
+   and records into [stats_of_conn i] / decrements [remaining_of_conn i],
+   so a sharded build can hand each connection its shard's scheduler and
+   a shard-private stats sink with no cross-shard mutation. *)
+let arm ~sched_of_conn ~stats_of_conn ~remaining_of_conn ~rng ~conns cfg =
   let n = Array.length conns in
-  if n = 0 then invalid_arg "Websearch.run: no connections";
-  if cfg.jobs_per_conn <= 0 then invalid_arg "Websearch.run: jobs_per_conn <= 0";
+  if n = 0 then invalid_arg "Websearch: no connections";
+  if cfg.jobs_per_conn <= 0 then invalid_arg "Websearch: jobs_per_conn <= 0";
   let lambda = arrival_rate_per_conn cfg ~conns:n in
   let mean_gap_sec = 1.0 /. lambda in
-  let stats = Fct_stats.create () in
-  let remaining = ref (n * cfg.jobs_per_conn) in
-  let submit_job conn_rng submit =
-    let size = Flow_size_dist.sample cfg.size_dist conn_rng in
-    let start = Scheduler.now sched in
-    submit ~bytes:size ~on_complete:(fun () ->
-        Fct_stats.record stats ~size ~start ~finish:(Scheduler.now sched);
-        decr remaining)
-  in
   Array.iteri
     (fun i submit ->
+      let sched = sched_of_conn i in
+      let stats = stats_of_conn i in
+      let remaining = remaining_of_conn i in
+      let submit_job conn_rng submit =
+        let size = Flow_size_dist.sample cfg.size_dist conn_rng in
+        let start = Scheduler.now sched in
+        submit ~bytes:size ~on_complete:(fun () ->
+            Fct_stats.record stats ~size ~start ~finish:(Scheduler.now sched);
+            decr remaining)
+      in
       (* a named stream per connection: registration order and connection
          count never shift another connection's arrival process *)
       let conn_rng = Rng.split_named rng ("conn:" ^ string_of_int i) in
@@ -49,7 +56,17 @@ let run ~sched ~rng ~conns cfg =
         Scheduler.schedule sched ~after:cfg.start_at (fun () -> arrive 0)
       in
       ())
-    conns;
+    conns
+
+let run ~sched ~rng ~conns cfg =
+  let n = Array.length conns in
+  let stats = Fct_stats.create () in
+  let remaining = ref (n * cfg.jobs_per_conn) in
+  arm
+    ~sched_of_conn:(fun _ -> sched)
+    ~stats_of_conn:(fun _ -> stats)
+    ~remaining_of_conn:(fun _ -> remaining)
+    ~rng ~conns cfg;
   while !remaining > 0 && Scheduler.step sched do
     ()
   done;

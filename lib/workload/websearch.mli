@@ -21,6 +21,24 @@ type config = {
 
 type submit = bytes:int -> on_complete:(unit -> unit) -> unit
 
+val arm :
+  sched_of_conn:(int -> Scheduler.t) ->
+  stats_of_conn:(int -> Fct_stats.t) ->
+  remaining_of_conn:(int -> int ref) ->
+  rng:Rng.t ->
+  conns:submit array ->
+  config ->
+  unit
+(** Arm every connection's arrival process without driving anything —
+    the caller owns the drive loop (the PDES shard coordinator, or
+    {!run}'s serial loop).  Connection [i] schedules exclusively on
+    [sched_of_conn i], records FCTs into [stats_of_conn i] and
+    decrements [remaining_of_conn i] on completion; in a sharded build
+    these are the connection's shard scheduler and a shard-private sink,
+    so job accounting involves no cross-shard mutation.  The per-
+    connection rng substreams are keyed by index, independent of the
+    shard layout. *)
+
 val run :
   sched:Scheduler.t ->
   rng:Rng.t ->

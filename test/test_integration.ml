@@ -79,7 +79,8 @@ let test_clove_beats_ecmp_under_asymmetry () =
 
 let test_edge_flowlet_between_ecmp_and_clove () =
   let avg scheme =
-    Workload.Fct_stats.avg (small_run ~asymmetric:true ~load:0.7 ~jobs:120 scheme)
+    seed_mean (fun seed ->
+        Workload.Fct_stats.avg (small_run ~asymmetric:true ~seed ~load:0.7 ~jobs:120 scheme))
   in
   let ecmp = avg Scenario.S_ecmp in
   let ef = avg Scenario.S_edge_flowlet in
