@@ -481,6 +481,152 @@ let chaos_benchmark () =
     exit 1
   end
 
+(* ------------- part 5b: 3-tier gray-failure benchmark -------------- *)
+
+(* The flagship 3-tier chaos scenario: 2 pods, permanent core-brownout
+   preset, ECMP vs Clove-ECN vs CAFT.  Records the resilience verdicts
+   as BENCH_chaos3.json, cross-checks serial-vs-parallel digests, and
+   fails if CAFT's time-to-recover does not beat ECMP's (the headline
+   claim of the core-tier generalization). *)
+let chaos3_benchmark () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* the sustained-suffix time-to-recover needs the run to outlast the
+     post-fault backlog, so the job count does not shrink in quick mode *)
+  let jobs = 600 in
+  let params =
+    {
+      Chaos.default_opts.Chaos.params with
+      Scenario.pods = 2;
+      fabric_rate_bps =
+        float_of_int Chaos.default_opts.Chaos.params.Scenario.hosts_per_leaf
+        *. 10e9 /. 4.0;
+    }
+  in
+  let spec =
+    match Chaos.preset_spec params "core-brownout" with
+    | Ok s -> s
+    | Error e ->
+      Format.eprintf "chaos3 benchmark: %s@." e;
+      exit 1
+  in
+  let plan =
+    match
+      Faults.Fault_plan.parse ~names:(Scenario.fault_names params) spec
+    with
+    | Ok p -> p
+    | Error e ->
+      Format.eprintf "chaos3 benchmark: bad preset: %s@." e;
+      exit 1
+  in
+  let opts =
+    {
+      Chaos.default_opts with
+      Chaos.plan;
+      schemes = [ Scenario.S_caft; Scenario.S_ecmp; Scenario.S_clove_ecn ];
+      (* ECMP's fault-free baseline must be stable at this load so the
+         verdict isolates the gray core, not hash-collision backlog *)
+      load = 0.15;
+      jobs_per_conn = jobs;
+      params;
+    }
+  in
+  let time f =
+    (* wall-clock speedup measurement of the harness — lint: allow sema-wall-clock *)
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (* wall-clock speedup measurement of the harness — lint: allow sema-wall-clock *)
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_wall = time (fun () -> Chaos.run ~domains:1 opts) in
+  let domains = Domain_pool.default_domains () in
+  let par, par_wall = time (fun () -> Chaos.run ~domains opts) in
+  let identical =
+    Array.for_all2
+      (fun (s : Chaos.row) (p : Chaos.row) ->
+        Workload.Fct_stats.canonical_dump s.Chaos.r_fct
+        = Workload.Fct_stats.canonical_dump p.Chaos.r_fct)
+      serial par
+  in
+  let find scheme =
+    Array.to_list par |> List.find_opt (fun r -> r.Chaos.r_scheme = scheme)
+  in
+  let ttr r =
+    match r.Chaos.r_time_to_recover with Some t -> t | None -> infinity
+  in
+  let caft_beats_ecmp =
+    match (find Scenario.S_caft, find Scenario.S_ecmp) with
+    | Some c, Some e -> c.Chaos.r_recovered && ttr c < ttr e
+    | _ -> false
+  in
+  let row_json (r : Chaos.row) =
+    Analysis.Json_out.Obj
+      [
+        ("scheme", String (Scenario.scheme_name r.Chaos.r_scheme));
+        ("pre_fct_avg_sec", Float r.Chaos.r_pre_avg);
+        ("post_fct_avg_sec", Float r.Chaos.r_post_avg);
+        ("post_baseline_fct_avg_sec", Float r.Chaos.r_post_base_avg);
+        ("post_fct_p99_sec", Float r.Chaos.r_post_p99);
+        ("goodput_lost_bytes", Float r.Chaos.r_goodput_lost);
+        ( "time_to_recover_sec",
+          match r.Chaos.r_time_to_recover with
+          | None -> Analysis.Json_out.Null
+          | Some t -> Float t );
+        ("recovered", Bool r.Chaos.r_recovered);
+        ( "fct_digest",
+          String
+            (Digest.to_hex
+               (Digest.string (Workload.Fct_stats.canonical_dump r.Chaos.r_fct)))
+        );
+      ]
+  in
+  let record =
+    Analysis.Json_out.Obj
+      [
+        ("scenario", String "chaos3");
+        ("preset", String "core-brownout");
+        ("fault_plan", String spec);
+        ("pods", Int params.Scenario.pods);
+        ("load", Float opts.Chaos.load);
+        ("jobs_per_conn", Int jobs);
+        ("seed", Int opts.Chaos.seed);
+        ("domains", Int domains);
+        ("wall_time_sec", Float par_wall);
+        ("serial_wall_time_sec", Float serial_wall);
+        ("deterministic", Bool identical);
+        ("caft_beats_ecmp", Bool caft_beats_ecmp);
+        ("rows", List (Array.to_list (Array.map row_json par)));
+      ]
+  in
+  let path = Filename.concat "results" "BENCH_chaos3.json" in
+  Analysis.Json_out.to_file path record;
+  Format.printf
+    "== 3-tier gray failure (core-brownout; %d pods; %d jobs/conn) ==@.  \
+     serial %.2fs  parallel %.2fs (%d domain%s)  deterministic %b  \
+     caft-beats-ecmp %b  -> %s@."
+    params.Scenario.pods jobs serial_wall par_wall domains
+    (if domains = 1 then "" else "s")
+    identical caft_beats_ecmp path;
+  Array.iter
+    (fun (r : Chaos.row) ->
+      Format.printf "  %-24s recovered %b  ttr %s  post %.3fms@."
+        (Scenario.scheme_name r.Chaos.r_scheme)
+        r.Chaos.r_recovered
+        (match r.Chaos.r_time_to_recover with
+        | None -> "-"
+        | Some t -> Printf.sprintf "%.0fms" (1e3 *. t))
+        (1e3 *. r.Chaos.r_post_avg))
+    par;
+  Format.printf "@.";
+  if not identical then begin
+    Format.eprintf "chaos3 benchmark: parallel run diverged from serial@.";
+    exit 1
+  end;
+  if not caft_beats_ecmp then begin
+    Format.eprintf
+      "chaos3 benchmark: CAFT did not beat ECMP's time-to-recover@.";
+    exit 1
+  end
+
 (* ------------- part 6: hot-path A/B benchmark ---------------------- *)
 
 type hotpath_run = {
@@ -806,7 +952,14 @@ let () =
   in
   let args = strip_domains args in
   let flags =
-    [ "--micro-only"; "--scenarios-only"; "--figures-only"; "--hotpath"; "--pdes" ]
+    [
+      "--micro-only";
+      "--scenarios-only";
+      "--figures-only";
+      "--hotpath";
+      "--pdes";
+      "--chaos3";
+    ]
   in
   let figure_ids = List.filter (fun a -> not (List.mem a flags)) args in
   Format.printf "Clove reproduction benchmark harness@.";
@@ -815,6 +968,7 @@ let () =
      CLOVE_DOMAINS / --domains N set the sweep pool width)@.@.";
   if List.mem "--hotpath" args then hotpath_benchmark ()
   else if List.mem "--pdes" args then pdes_benchmark ()
+  else if List.mem "--chaos3" args then chaos3_benchmark ()
   else if List.mem "--scenarios-only" args then begin
     scenario_benchmarks ();
     parallel_sweep_benchmark ();

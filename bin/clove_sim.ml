@@ -232,13 +232,37 @@ let determinism_cmd =
     term
 
 let chaos_cmd =
-  let run faults schemes load jobs seed hosts domains shards audit no_recovery
-      assert_recovery =
+  let run faults preset schemes load jobs seed hosts pods cores core_rate
+      domains shards audit no_recovery assert_recovery =
     apply_domains domains;
     apply_shards shards;
     if audit then Analysis.Audit.set_enabled true;
+    let params =
+      {
+        Chaos.default_opts.Chaos.params with
+        Scenario.seed;
+        hosts_per_leaf = hosts;
+        fabric_rate_bps = float_of_int hosts *. 10e9 /. 4.0;
+        pods;
+        cores;
+        core_rate_bps = core_rate *. 1e9;
+      }
+    in
+    let faults =
+      match preset with
+      | None -> faults
+      | Some name -> (
+        match Chaos.preset_spec params name with
+        | Ok spec -> spec
+        | Error e ->
+          Format.eprintf "clove-sim chaos: %s@." e;
+          exit 2)
+    in
+    (* parse-time validation: unknown switch/edge names for THIS topology
+       are rejected here, before any scenario is built *)
     let plan =
-      match Faults.Fault_plan.parse faults with
+      match Faults.Fault_plan.parse ~names:(Scenario.fault_names params) faults
+      with
       | Ok p -> p
       | Error e ->
         Format.eprintf "clove-sim chaos: bad --faults spec: %s@." e;
@@ -246,14 +270,6 @@ let chaos_cmd =
     in
     let schemes =
       if schemes = [] then Chaos.default_opts.Chaos.schemes else schemes
-    in
-    let params =
-      {
-        Chaos.default_opts.Chaos.params with
-        Scenario.seed;
-        hosts_per_leaf = hosts;
-        fabric_rate_bps = float_of_int hosts *. 10e9 /. 4.0;
-      }
     in
     let opts =
       {
@@ -268,6 +284,8 @@ let chaos_cmd =
     in
     let rows = Chaos.run opts in
     Format.printf "%a@." Figures.pp_report (Chaos.scorecard ~plan rows);
+    Format.printf "%a@." Figures.pp_report
+      (Chaos.tier_scorecard ~plan ~params rows);
     Array.iter
       (fun r ->
         Format.printf "digest %-14s %s@."
@@ -280,18 +298,19 @@ let chaos_cmd =
       if not (Analysis.Audit.ok ()) then exit 1
     end;
     if assert_recovery then begin
-      let is_clove r =
+      (* the congestion-aware fault-tolerant schemes must recover *)
+      let is_adaptive r =
         match r.Chaos.r_scheme with
         | Scenario.S_clove_ecn | Scenario.S_clove_int | Scenario.S_clove_latency
-          ->
+        | Scenario.S_caft ->
           true
         | _ -> false
       in
-      match Array.to_list rows |> List.filter is_clove with
+      (match Array.to_list rows |> List.filter is_adaptive with
       | [] ->
-        Format.eprintf "chaos: --assert-recovery needs a clove-* scheme@.";
+        Format.eprintf "chaos: --assert-recovery needs a clove-* or caft scheme@.";
         exit 2
-      | clove_rows ->
+      | adaptive_rows ->
         List.iter
           (fun r ->
             if not r.Chaos.r_recovered then begin
@@ -306,7 +325,25 @@ let chaos_cmd =
                 (Scenario.scheme_name r.Chaos.r_scheme);
               exit 1
             end)
-          clove_rows
+          adaptive_rows);
+      (* when CAFT and ECMP both ran, CAFT's time-to-recover must not be
+         worse than ECMP's (the 3-tier flagship's headline claim) *)
+      let find s =
+        Array.to_list rows |> List.find_opt (fun r -> r.Chaos.r_scheme = s)
+      in
+      match (find Scenario.S_caft, find Scenario.S_ecmp) with
+      | Some caft_row, Some ecmp_row ->
+        let ttr r =
+          match r.Chaos.r_time_to_recover with Some t -> t | None -> infinity
+        in
+        if ttr caft_row > ttr ecmp_row then begin
+          Format.eprintf
+            "chaos: CAFT time-to-recover (%.0f ms) worse than ECMP's (%.0f \
+             ms)@."
+            (1e3 *. ttr caft_row) (1e3 *. ttr ecmp_row);
+          exit 1
+        end
+      | _ -> ()
     end
   in
   let faults_arg =
@@ -321,9 +358,40 @@ let chaos_cmd =
       & opt string "down s2-l2b@60ms; up s2-l2b@120ms"
       & info [ "faults"; "f" ] ~doc ~docv:"PLAN")
   in
+  let preset_arg =
+    let doc =
+      Printf.sprintf
+        "Pod-level gray-failure preset (overrides $(b,--faults)): %s.  \
+         Requires $(b,--pods) >= 2."
+        (String.concat ", " Chaos.preset_names)
+    in
+    Arg.(value & opt (some string) None & info [ "preset" ] ~doc ~docv:"NAME")
+  in
   let schemes_arg =
-    let doc = "Scheme to score (repeatable; default: clove-ecn and ecmp)." in
+    let doc =
+      "Scheme to score (repeatable; default: clove-ecn and ecmp; $(b,caft) \
+       adds the fabric-side congestion-aware fault-tolerant baseline)."
+    in
     Arg.(value & opt_all scheme_conv [] & info [ "scheme"; "s" ] ~doc)
+  in
+  let pods_arg =
+    let doc =
+      "Pod count: 1 runs the paper's 2-tier leaf-spine; >= 2 builds a 3-tier \
+       Clos with a core tier."
+    in
+    Arg.(value & opt int 1 & info [ "pods" ] ~doc)
+  in
+  let cores_arg =
+    let doc =
+      "Core-switch count for 3-tier runs (0 = two core uplinks per spine)."
+    in
+    Arg.(value & opt int 0 & info [ "cores" ] ~doc)
+  in
+  let core_rate_arg =
+    let doc =
+      "Spine-core link rate in Gbit/s for 3-tier runs (0 = the fabric rate)."
+    in
+    Arg.(value & opt float 0.0 & info [ "core-rate-gbps" ] ~doc)
   in
   let audit_arg =
     let doc = "Run with the runtime invariant auditor enabled (serial)." in
@@ -338,8 +406,9 @@ let chaos_cmd =
   in
   let assert_recovery_arg =
     let doc =
-      "Exit 1 unless every clove-* scheme recovers to within 10% of its \
-       pre-fault avg FCT."
+      "Exit 1 unless every clove-* and caft scheme recovers to within 10% of \
+       its fault-free baseline; when both caft and ecmp ran, also require \
+       caft's time-to-recover to be no worse than ecmp's."
     in
     Arg.(value & flag & info [ "assert-recovery" ] ~doc)
   in
@@ -355,9 +424,10 @@ let chaos_cmd =
   in
   let term =
     Term.(
-      const run $ faults_arg $ schemes_arg $ chaos_load_arg $ chaos_jobs_arg
-      $ seed_arg $ hosts_arg $ domains_arg $ shards_arg $ audit_arg
-      $ no_recovery_arg $ assert_recovery_arg)
+      const run $ faults_arg $ preset_arg $ schemes_arg $ chaos_load_arg
+      $ chaos_jobs_arg $ seed_arg $ hosts_arg $ pods_arg $ cores_arg
+      $ core_rate_arg $ domains_arg $ shards_arg $ audit_arg $ no_recovery_arg
+      $ assert_recovery_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

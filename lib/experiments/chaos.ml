@@ -18,6 +18,50 @@ let default_plan () =
   | Ok p -> p
   | Error e -> invalid_arg ("Chaos.default_plan: " ^ e)
 
+(* ------------------------ gray-failure presets --------------------- *)
+
+let preset_names = [ "core-brownout"; "interpod-flap"; "dual-link-loss" ]
+
+(* Pod-level gray-failure scenarios for 3-tier topologies, expanded
+   against the actual pod count.  The names follow
+   {!Faults.Fault_engine.clos3_naming}: core [k] homes on spine
+   [k mod spines] of every pod, so ["s<p>.1-core0"] exists for each pod
+   [p]. *)
+let preset_spec (params : Scenario.params) name =
+  let pods = params.Scenario.pods in
+  if pods < 2 then
+    Error
+      (Printf.sprintf
+         "chaos preset %S needs a 3-tier topology (--pods >= 2)" name)
+  else
+    match name with
+    | "core-brownout" ->
+      (* the flagship: core0 browns out on every pod-facing uplink — 10%
+         residual capacity, 5% wire loss — and stays gray for the rest of
+         the run.  Routing never reconverges (the links stay up), so ECMP
+         keeps hashing flows onto the gray core forever; recovering means
+         adapting to the degraded fabric, which only congestion-aware
+         schemes can do. *)
+      Ok
+        (String.concat "; "
+           (List.init pods (fun p ->
+                Printf.sprintf "brownout s%d.1-core0 frac=0.1 loss=0.05 @60ms"
+                  (p + 1))))
+    | "interpod-flap" ->
+      (* pod 1's first core uplink flaps: repeated reconvergence churn on
+         the inter-pod paths *)
+      Ok "flap s1.1-core0 period=20ms duty=0.5 until=120ms @60ms"
+    | "dual-link-loss" ->
+      (* correlated failure: pod 1 loses one core uplink on each of two
+         spines at the same instant, then both restore together *)
+      if params.Scenario.spines < 2 then
+        Error "chaos preset \"dual-link-loss\" needs --spines >= 2"
+      else
+        Ok
+          "down s1.1-core0 @60ms; down s1.2-core1 @60ms; up s1.1-core0 \
+           @120ms; up s1.2-core1 @120ms"
+    | n -> Error (Printf.sprintf "unknown chaos preset %S" n)
+
 let default_opts =
   {
     plan = [];
@@ -53,6 +97,7 @@ type row = {
           baseline; [None] = never within this run *)
   r_recovered : bool;  (** [r_time_to_recover <> None] *)
   r_fct : Workload.Fct_stats.t;
+  r_base : Workload.Fct_stats.t;  (** the paired fault-free baseline *)
 }
 
 let recovery_slack = 1.10 (* "within 10% of the fault-free baseline" *)
@@ -88,7 +133,7 @@ let simulate opts scheme plan =
   in
   let engine =
     Faults.Fault_engine.create ~sched ~fabric:(Scenario.fabric scn) ~vswitches
-      ~naming:(Faults.Fault_engine.leaf_spine_naming (Scenario.leaf_spine scn))
+      ~naming:(Scenario.fault_naming scn)
       ~rng:(Rng.split_named (Scenario.rng scn) "faults")
   in
   (match Faults.Fault_engine.arm engine plan with
@@ -117,31 +162,41 @@ let mice_of fct =
     ~max_size:(Workload.Fct_stats.mice_cutoff / 4)
     fct
 
-let run_scheme opts scheme =
-  let plan = if opts.plan = [] then default_plan () else opts.plan in
-  let fct = simulate opts scheme plan in
-  let base = simulate opts scheme [] in
-  (* ------------------------- scorecard ---------------------------- *)
-  (* [t_settle]: when the disruption stops changing — the restoration if
-     every fault ends, else the last fault event of a permanent plan.
-     Recovery is judged from there: for a restored link it means "back to
-     normal service", for a permanent failure it means "adapted to the
-     degraded fabric" (which congestion-aware schemes can do and ECMP
-     cannot). *)
-  let t_fault, t_settle =
-    match Faults.Fault_plan.disruption_window plan with
-    | None -> (infinity, infinity)
-    | Some (start, stop) ->
-      let last_event =
-        List.fold_left
-          (fun acc (e : Faults.Fault_plan.event) ->
-            Float.max acc (Sim_time.span_to_sec e.Faults.Fault_plan.at))
-          0.0 plan
-      in
-      (match stop with
-      | Some s -> (Sim_time.span_to_sec start, Sim_time.span_to_sec s)
-      | None -> (Sim_time.span_to_sec start, last_event))
-  in
+(* [t_settle]: when the disruption stops changing — the restoration if
+   every fault ends, else the last fault event of a permanent plan.
+   Recovery is judged from there: for a restored link it means "back to
+   normal service", for a permanent failure it means "adapted to the
+   degraded fabric" (which congestion-aware schemes can do and ECMP
+   cannot). *)
+let windows_of plan =
+  match Faults.Fault_plan.disruption_window plan with
+  | None -> (infinity, infinity)
+  | Some (start, stop) ->
+    let last_event =
+      List.fold_left
+        (fun acc (e : Faults.Fault_plan.event) ->
+          Float.max acc (Sim_time.span_to_sec e.Faults.Fault_plan.at))
+        0.0 plan
+    in
+    (match stop with
+    | Some s -> (Sim_time.span_to_sec start, Sim_time.span_to_sec s)
+    | None -> (Sim_time.span_to_sec start, last_event))
+
+type score = {
+  sc_pre_avg : float;
+  sc_fault_avg : float;
+  sc_post_avg : float;
+  sc_post_base_avg : float;
+  sc_post_p99 : float;
+  sc_goodput_lost : float;
+  sc_ttr : float option;
+}
+
+(* Score one (sub-)plan's disruption window against a faulted run and
+   its paired fault-free baseline — also how the per-tier breakdown
+   scores each tier's own window within one run. *)
+let score ~plan ~fct ~base =
+  let t_fault, t_settle = windows_of plan in
   let mice = mice_of fct in
   let mice_base = mice_of base in
   let pre = Workload.Fct_stats.window ~from:0.0 ~until:t_fault mice in
@@ -150,8 +205,6 @@ let run_scheme opts scheme =
   let post_base =
     Workload.Fct_stats.window ~from:t_settle ~until:infinity mice_base
   in
-  let post_avg = Workload.Fct_stats.avg post in
-  let post_base_avg = Workload.Fct_stats.avg post_base in
   (* goodput lost: bytes the fault window delivered below what the same
      window delivered fault-free.  Zero for single-event permanent plans
      (their fault window is empty — all their cost shows up in postFCT). *)
@@ -192,18 +245,33 @@ let run_scheme opts scheme =
       in
       search 0
   in
-  let recovered = time_to_recover <> None in
+  {
+    sc_pre_avg = Workload.Fct_stats.avg pre;
+    sc_fault_avg = Workload.Fct_stats.avg during;
+    sc_post_avg = Workload.Fct_stats.avg post;
+    sc_post_base_avg = Workload.Fct_stats.avg post_base;
+    sc_post_p99 = Workload.Fct_stats.percentile post 99.0;
+    sc_goodput_lost = goodput_lost;
+    sc_ttr = time_to_recover;
+  }
+
+let run_scheme opts scheme =
+  let plan = if opts.plan = [] then default_plan () else opts.plan in
+  let fct = simulate opts scheme plan in
+  let base = simulate opts scheme [] in
+  let s = score ~plan ~fct ~base in
   {
     r_scheme = scheme;
-    r_pre_avg = Workload.Fct_stats.avg pre;
-    r_fault_avg = Workload.Fct_stats.avg during;
-    r_post_avg = post_avg;
-    r_post_base_avg = post_base_avg;
-    r_post_p99 = Workload.Fct_stats.percentile post 99.0;
-    r_goodput_lost = goodput_lost;
-    r_time_to_recover = time_to_recover;
-    r_recovered = recovered;
+    r_pre_avg = s.sc_pre_avg;
+    r_fault_avg = s.sc_fault_avg;
+    r_post_avg = s.sc_post_avg;
+    r_post_base_avg = s.sc_post_base_avg;
+    r_post_p99 = s.sc_post_p99;
+    r_goodput_lost = s.sc_goodput_lost;
+    r_time_to_recover = s.sc_ttr;
+    r_recovered = s.sc_ttr <> None;
     r_fct = fct;
+    r_base = base;
   }
 
 let run ?domains opts =
@@ -262,6 +330,66 @@ let scorecard ~plan rows =
        return to within 10% of its fault-free baseline FCT after \
        restoration while ECMP keeps paying for the backlog built during \
        the fault";
+    table;
+  }
+
+(* --------------------- per-tier breakdown ------------------------- *)
+
+(* Split the plan by the tier each event disturbs and score every tier's
+   own disruption window against the same run — no extra simulation.
+   Per-tier time-to-recover tells which layer's damage lingers: a core
+   brownout with instant pod-tier recovery but long core-tier TTR is a
+   scheme failing to reroute around the gray core. *)
+let tier_scorecard ~plan ~(params : Scenario.params) rows =
+  let ls, clos = Scenario.build_topology params in
+  let naming =
+    match clos with
+    | Some c3 -> Faults.Fault_engine.clos3_naming c3
+    | None -> Faults.Fault_engine.leaf_spine_naming ls
+  in
+  let topo = ls.Topology.topo in
+  let tier_of = Faults.Fault_engine.tier_of_event naming topo in
+  let tiers = List.sort_uniq String.compare (List.map tier_of plan) in
+  let table =
+    Stats.Table.create
+      ~header:
+        [
+          "scheme/tier";
+          "faultFCT(ms)";
+          "postFCT(ms)";
+          "basePost(ms)";
+          "lost(MB)";
+          "ttr(ms)";
+          "recovered";
+        ]
+  in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun tier ->
+          let sub = List.filter (fun ev -> tier_of ev = tier) plan in
+          let s = score ~plan:sub ~fct:r.r_fct ~base:r.r_base in
+          Stats.Table.add_float_row table
+            ~label:(Scenario.scheme_name r.r_scheme ^ ":" ^ tier)
+            [
+              ms s.sc_fault_avg;
+              ms s.sc_post_avg;
+              ms s.sc_post_base_avg;
+              s.sc_goodput_lost /. 1e6;
+              (match s.sc_ttr with None -> nan | Some t -> ms t);
+              (if s.sc_ttr <> None then 1.0 else 0.0);
+            ])
+        tiers)
+    rows;
+  {
+    Figures.id = "ext-chaos-tiers";
+    title =
+      Printf.sprintf "Chaos per-tier breakdown, mice FCT [%s] (extension)"
+        (Faults.Fault_plan.to_string plan);
+    paper_claim =
+      "3-tier generalization: each tier's own disruption window scored \
+       separately — time-to-recover and goodput lost per tier show which \
+       layer's gray failure a scheme absorbs and which it keeps paying for";
     table;
   }
 

@@ -48,6 +48,18 @@ val default_plan_spec : string
 
 val default_plan : unit -> Faults.Fault_plan.t
 
+val preset_names : string list
+(** Pod-level gray-failure presets for 3-tier topologies:
+    ["core-brownout"] (the flagship: core0 grays out to 10% capacity
+    with 5% wire loss on every pod uplink for the rest of the run, no
+    routing reconvergence — recovery means adapting to the degraded
+    fabric), ["interpod-flap"] (pod 1's first core uplink flaps), and
+    ["dual-link-loss"] (correlated loss of two core uplinks of pod 1). *)
+
+val preset_spec : Scenario.params -> string -> (string, string) result
+(** Expand a preset name into a fault-plan spec against the actual pod
+    count; errors for unknown names or 2-tier [params]. *)
+
 type row = {
   r_scheme : Scenario.scheme;
   r_pre_avg : float;
@@ -61,6 +73,8 @@ type row = {
   r_recovered : bool;
   r_fct : Workload.Fct_stats.t;
       (** the faulted run's full FCT record, for determinism digests *)
+  r_base : Workload.Fct_stats.t;
+      (** the paired fault-free baseline's FCT record *)
 }
 
 val run_scheme : opts -> Scenario.scheme -> row
@@ -72,6 +86,17 @@ val run : ?domains:int -> opts -> row array
 
 val scorecard : plan:Faults.Fault_plan.t -> row array -> Figures.report
 (** Format already-computed rows as a figure-style report. *)
+
+val tier_scorecard :
+  plan:Faults.Fault_plan.t ->
+  params:Scenario.params ->
+  row array ->
+  Figures.report
+(** Per-tier breakdown of the same rows: the plan is split by the tier
+    each event disturbs (core / pod / host / vedge, per
+    {!Faults.Fault_engine.tier_of_event}) and every tier's own
+    disruption window is scored separately — time-to-recover and
+    goodput lost per tier, no extra simulation. *)
 
 val report : ?domains:int -> ?opts:opts -> unit -> Figures.report
 (** {!run} + {!scorecard} (the ext-chaos extension). *)

@@ -8,6 +8,7 @@ type scheme =
   | S_mptcp
   | S_conga
   | S_letflow
+  | S_caft
 
 let scheme_name = function
   | S_ecmp -> "ECMP"
@@ -19,6 +20,7 @@ let scheme_name = function
   | S_mptcp -> "MPTCP"
   | S_conga -> "CONGA"
   | S_letflow -> "LetFlow"
+  | S_caft -> "CAFT"
 
 let scheme_of_string s =
   match String.lowercase_ascii s with
@@ -31,14 +33,18 @@ let scheme_of_string s =
   | "mptcp" -> Some S_mptcp
   | "conga" -> Some S_conga
   | "letflow" -> Some S_letflow
+  | "caft" -> Some S_caft
   | _ -> None
 
 type params = {
   leaves : int;
   spines : int;
+  pods : int;
+  cores : int;
   hosts_per_leaf : int;
   host_rate_bps : float;
   fabric_rate_bps : float;
+  core_rate_bps : float;
   asymmetric : bool;
   ecn_threshold_pkts : int;
   queue_capacity_pkts : int;
@@ -63,9 +69,12 @@ let default_params =
   {
     leaves = 2;
     spines = 2;
+    pods = 1;
+    cores = 0;
     hosts_per_leaf = 8;
     host_rate_bps = 10e9;
     fabric_rate_bps = 20e9;
+    core_rate_bps = 0.0;
     asymmetric = false;
     ecn_threshold_pkts = 20;
     queue_capacity_pkts = 256;
@@ -98,6 +107,7 @@ type t = {
   sched : Scheduler.t;
   fabric : Fabric.t;
   ls : Topology.leaf_spine;
+  clos : Topology.clos3 option;
   clients : Host.t array;
   servers : Host.t array;
   scheme : scheme;
@@ -107,6 +117,7 @@ type t = {
   vswitches : (int, Clove.Vswitch.t) Hashtbl.t;
   conga : Fabric_lb.Conga.t option;
   letflow : Fabric_lb.Letflow.t option;
+  caft : Fabric_lb.Caft.t option;
   clove_cfg : Clove.Clove_config.t;
   dist : Stats.Cdf.t;
   shards : int; (* 0 = legacy serial; 1 = PDES serial fallback; >= 2 sharded *)
@@ -143,7 +154,52 @@ let stack t host =
   | Some s -> s
   | None -> invalid_arg "Scenario.stack: unknown host"
 
-let client_leaves params = max 1 (params.leaves / 2)
+let total_leaves params = max 1 params.pods * params.leaves
+let client_leaves params = max 1 (total_leaves params / 2)
+
+(* 3-tier defaults: 2 core uplinks per spine (local path diversity for
+   hop-by-hop schemes under core degradation) at the fabric rate *)
+let effective_cores params =
+  if params.cores > 0 then params.cores else 2 * params.spines
+
+let effective_core_rate params =
+  if params.core_rate_bps > 0.0 then params.core_rate_bps
+  else params.fabric_rate_bps
+
+(* the topology is a pure description — cheap enough to build standalone
+   for parse-time fault-name validation *)
+let build_topology params =
+  if params.pods < 1 then invalid_arg "Scenario: pods must be >= 1";
+  if total_leaves params < 2 || params.spines < 1 then
+    invalid_arg "Scenario: need at least 2 leaves total and 1 spine";
+  if params.pods = 1 then
+    ( Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
+        ~hosts_per_leaf:params.hosts_per_leaf ~parallel:2
+        ~host_rate_bps:params.host_rate_bps
+        ~fabric_rate_bps:params.fabric_rate_bps ~host_delay:(Sim_time.us 2)
+        ~fabric_delay:(Sim_time.us 2),
+      None )
+  else
+    let c3 =
+      Topology.clos3 ~pods:params.pods ~leaves_per_pod:params.leaves
+        ~spines_per_pod:params.spines ~cores:(effective_cores params)
+        ~hosts_per_leaf:params.hosts_per_leaf ~parallel:2
+        ~host_rate_bps:params.host_rate_bps
+        ~fabric_rate_bps:params.fabric_rate_bps
+        ~core_rate_bps:(effective_core_rate params)
+        ~host_delay:(Sim_time.us 2) ~fabric_delay:(Sim_time.us 2)
+        ~core_delay:(Sim_time.us 2)
+    in
+    (c3.Topology.c3_ls, Some c3)
+
+let naming_of ~ls ~clos =
+  match clos with
+  | Some c3 -> Faults.Fault_engine.clos3_naming c3
+  | None -> Faults.Fault_engine.leaf_spine_naming ls
+
+let fault_names params =
+  let ls, clos = build_topology params in
+  Faults.Fault_engine.names (naming_of ~ls ~clos)
 
 let bisection_bps t =
   (* aggregate client-side NIC rate: leaves/2 client leaves worth of
@@ -163,28 +219,22 @@ let vswitch_scheme = function
   | S_mptcp -> Clove.Vswitch.Ecmp
   | S_conga -> Clove.Vswitch.Direct
   | S_letflow -> Clove.Vswitch.Direct
+  | S_caft -> Clove.Vswitch.Direct
 
 let build ?shards ~scheme params =
   let shards = match shards with Some s -> s | None -> !default_shards in
   if shards < 0 then invalid_arg "Scenario.build: shards must be >= 0";
-  if params.leaves < 2 || params.spines < 1 then
-    invalid_arg "Scenario.build: need at least 2 leaves and 1 spine";
   (* Graceful degradation keeps the digest contract ("identical at any
      --shards >= 1") for every scenario: MPTCP couples both endpoints on
      one scheduler so it runs the serial fallback, and one shard per
      leaf is the finest partition so wider requests clamp. *)
   let shards =
-    if shards >= 2 && scheme = S_mptcp then 1 else min shards params.leaves
+    if shards >= 2 && scheme = S_mptcp then 1
+    else min shards (total_leaves params)
   in
   let sched = Scheduler.create () in
   let rng = Rng.create params.seed in
-  let ls =
-    Topology.leaf_spine ~leaves:params.leaves ~spines:params.spines
-      ~hosts_per_leaf:params.hosts_per_leaf
-      ~parallel:2 ~host_rate_bps:params.host_rate_bps
-      ~fabric_rate_bps:params.fabric_rate_bps ~host_delay:(Sim_time.us 2)
-      ~fabric_delay:(Sim_time.us 2)
-  in
+  let ls, clos = build_topology params in
   let config =
     {
       Fabric.queue_capacity_pkts = params.queue_capacity_pkts;
@@ -211,6 +261,12 @@ let build ?shards ~scheme params =
       Array.iteri
         (fun j spine -> node_shard.(spine) <- j mod width)
         ls.Topology.spine_ids;
+      (match clos with
+      | Some c3 ->
+        Array.iteri
+          (fun j core -> node_shard.(core) <- j mod width)
+          c3.Topology.c3_core_ids
+      | None -> ());
       let partition =
         Partition.plan ~topo:ls.Topology.topo ~nshards:width
           ~shard_of_node:(fun id -> node_shard.(id))
@@ -312,7 +368,7 @@ let build ?shards ~scheme params =
       (Array.concat (List.init (hi - lo) (fun i -> ls.Topology.host_ids.(lo + i))))
   in
   let clients = leaf_hosts 0 ncl in
-  let servers = leaf_hosts ncl params.leaves in
+  let servers = leaf_hosts ncl (total_leaves params) in
   let letflow =
     if scheme = S_letflow then
       Some (Fabric_lb.Letflow.install ~rng:(Rng.split_named rng "letflow") fabric)
@@ -328,10 +384,21 @@ let build ?shards ~scheme params =
            fabric)
     else None
   in
+  let caft =
+    if scheme = S_caft then
+      (* same gap policy as CONGA; installing also registers the
+         re-weighting reconvergence hook on the fabric *)
+      Some
+        (Fabric_lb.Caft.install
+           ~flowlet_gap:(Sim_time.mul_span params.rtt_estimate 5.0)
+           fabric)
+    else None
+  in
   {
     sched;
     fabric;
     ls;
+    clos;
     clients;
     servers;
     scheme;
@@ -341,6 +408,7 @@ let build ?shards ~scheme params =
     vswitches;
     conga;
     letflow;
+    caft;
     clove_cfg;
     dist =
       Workload.Flow_size_dist.scale
@@ -407,6 +475,9 @@ let connect t ~src ~dst =
     fun ~bytes ~on_complete -> Transport.Tcp.send sender ~bytes ~on_complete
 
 let conga t = t.conga
+let caft t = t.caft
+let clos t = t.clos
+let fault_naming t = naming_of ~ls:t.ls ~clos:t.clos
 let total_drops t = Fabric.total_drops t.fabric
 let total_marks t = Fabric.total_marks t.fabric
 let shards t = t.shards
@@ -460,5 +531,6 @@ let quiesce t =
   (match t.pdes with Some p -> Shard.shutdown p.shard | None -> ());
   ignore t.conga;
   ignore t.letflow;
+  ignore t.caft;
   ignore t.clove_cfg;
   ignore t.ls

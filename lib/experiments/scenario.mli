@@ -17,19 +17,36 @@ type scheme =
   | S_mptcp  (** MPTCP transport over the ECMP dataplane *)
   | S_conga  (** plain transport, CONGA in the fabric *)
   | S_letflow  (** plain transport, in-ToR flowlet switching (NSDI'17) *)
+  | S_caft
+      (** plain transport, CAFT-style hop-by-hop congestion-aware
+          fault-tolerant balancing on every tier (3-tier baseline) *)
 
 val scheme_name : scheme -> string
 val scheme_of_string : string -> scheme option
 
 type params = {
-  leaves : int;  (** leaf count; first half client leaves, rest servers *)
-  spines : int;
+  leaves : int;
+      (** leaf count (per pod when [pods >= 2]); the first half of all
+          leaves hold clients, the rest servers *)
+  spines : int;  (** spine count (per pod when [pods >= 2]) *)
+  pods : int;
+      (** 1 (default) builds the paper's 2-tier leaf-spine; [>= 2] builds
+          a 3-tier Clos of [pods] pods plus a core tier, [leaves] and
+          [spines] counted per pod.  Clients land on the first half of
+          the pods, so the workload crosses the core. *)
+  cores : int;
+      (** core-switch count for [pods >= 2]; 0 (default) means
+          [2 * spines] — two core uplinks per spine *)
   hosts_per_leaf : int;
   host_rate_bps : float;
   fabric_rate_bps : float;
       (** per fabric link; 4 such links per leaf — keep
           [4 * fabric_rate = hosts_per_leaf * host_rate] for a
           non-oversubscribed fabric like the paper's *)
+  core_rate_bps : float;
+      (** per spine-core link for [pods >= 2]; 0 (default) means
+          [fabric_rate_bps].  Lower it (or cut [cores]) to oversubscribe
+          the core tier. *)
   asymmetric : bool;  (** fail one of the two S2-L2 links (-25% bisection) *)
   ecn_threshold_pkts : int;
   queue_capacity_pkts : int;
@@ -90,7 +107,25 @@ val fabric : t -> Fabric.t
 
 val leaf_spine : t -> Topology.leaf_spine
 (** The underlying 2-tier topology handle (switch/edge naming for fault
-    plans). *)
+    plans); for 3-tier builds this is the flattened [c3_ls] view. *)
+
+val clos : t -> Topology.clos3 option
+(** The 3-tier handle when [params.pods >= 2]. *)
+
+val fault_naming : t -> Faults.Fault_engine.naming
+(** The symbolic fault naming matching this scenario's topology:
+    {!Faults.Fault_engine.clos3_naming} for 3-tier builds,
+    {!Faults.Fault_engine.leaf_spine_naming} otherwise. *)
+
+val fault_names : params -> Faults.Fault_plan.names
+(** Parse-time name-validation predicates for the topology [params]
+    describes, without building a scenario (the topology description is
+    cheap; no fabric is instantiated). *)
+
+val build_topology : params -> Topology.leaf_spine * Topology.clos3 option
+(** The pure topology description [params] denotes (3-tier iff
+    [pods >= 2]) — for name resolution and tier classification without
+    instantiating a fabric. *)
 
 val clients : t -> Host.t array
 val servers : t -> Host.t array
@@ -101,6 +136,9 @@ val vswitch : t -> Host.t -> Clove.Vswitch.t
 val stack : t -> Host.t -> Transport.Stack.t
 val conga : t -> Fabric_lb.Conga.t option
 (** The fabric-side CONGA state, when the scheme is [S_conga]. *)
+
+val caft : t -> Fabric_lb.Caft.t option
+(** The fabric-side CAFT state, when the scheme is [S_caft]. *)
 
 val connect : t -> src:Host.t -> dst:Host.t -> Workload.Websearch.submit
 (** A persistent connection carrying data from [src] to [dst], using the

@@ -3,23 +3,13 @@ type naming = {
   resolve_switch : string -> int option;
 }
 
-let leaf_spine_naming (ls : Topology.leaf_spine) =
-  let resolve_switch name =
-    let n = String.length name in
-    if n < 2 then None
-    else
-      match (name.[0], int_of_string_opt (String.sub name 1 (n - 1))) with
-      | 'l', Some i when i >= 1 && i <= Array.length ls.Topology.leaf_ids ->
-        Some ls.Topology.leaf_ids.(i - 1)
-      | 's', Some i when i >= 1 && i <= Array.length ls.Topology.spine_ids ->
-        Some ls.Topology.spine_ids.(i - 1)
-      | _ -> None
-  in
+(* edge names are "<switch>-<switch>" in either order under any switch
+   naming; a trailing letter on the second component selects the parallel
+   link of the bundle ("s2-l2b" = bundle index 1) *)
+let edge_naming ~topo resolve_switch =
   let resolve_edge name =
     match String.split_on_char '-' name with
     | [ a; b ] -> (
-      (* a trailing letter on the second component selects the parallel
-         link of the bundle: "s2-l2b" = bundle index 1 *)
       let b, bundle =
         let n = String.length b in
         if
@@ -30,12 +20,98 @@ let leaf_spine_naming (ls : Topology.leaf_spine) =
         else (b, 0)
       in
       match (resolve_switch a, resolve_switch b) with
-      | Some na, Some nb ->
-        Topology.find_edge ls.Topology.topo ~a:na ~b:nb ~bundle_index:bundle
+      | Some na, Some nb -> Topology.find_edge topo ~a:na ~b:nb ~bundle_index:bundle
       | _ -> None)
     | _ -> None
   in
   { resolve_edge; resolve_switch }
+
+let leaf_spine_resolve_switch (ls : Topology.leaf_spine) name =
+  let n = String.length name in
+  if n < 2 then None
+  else
+    match (name.[0], int_of_string_opt (String.sub name 1 (n - 1))) with
+    | 'l', Some i when i >= 1 && i <= Array.length ls.Topology.leaf_ids ->
+      Some ls.Topology.leaf_ids.(i - 1)
+    | 's', Some i when i >= 1 && i <= Array.length ls.Topology.spine_ids ->
+      Some ls.Topology.spine_ids.(i - 1)
+    | _ -> None
+
+let leaf_spine_naming (ls : Topology.leaf_spine) =
+  edge_naming ~topo:ls.Topology.topo (leaf_spine_resolve_switch ls)
+
+let clos3_naming (c3 : Topology.clos3) =
+  let ls = c3.Topology.c3_ls in
+  (* "<p>.<i>", both 1-based, into a pod-major id array *)
+  let pod_scoped ids per_pod rest =
+    match String.split_on_char '.' rest with
+    | [ p; i ] -> (
+      match (int_of_string_opt p, int_of_string_opt i) with
+      | Some p, Some i
+        when p >= 1 && p <= c3.Topology.c3_pods && i >= 1 && i <= per_pod ->
+        Some ids.(((p - 1) * per_pod) + (i - 1))
+      | _ -> None)
+    | _ -> None
+  in
+  let resolve_switch name =
+    let n = String.length name in
+    if n > 4 && String.sub name 0 4 = "core" then
+      match int_of_string_opt (String.sub name 4 (n - 4)) with
+      | Some k when k >= 0 && k < Array.length c3.Topology.c3_core_ids ->
+        Some c3.Topology.c3_core_ids.(k)
+      | _ -> None
+    else if n >= 2 && String.contains name '.' then
+      let rest = String.sub name 1 (n - 1) in
+      match name.[0] with
+      | 'l' -> pod_scoped ls.Topology.leaf_ids c3.Topology.c3_leaves_per_pod rest
+      | 's' -> pod_scoped ls.Topology.spine_ids c3.Topology.c3_spines_per_pod rest
+      | _ -> None
+    else
+      (* flattened global names keep working: "l3" is the third leaf
+         pod-major, exactly the two-tier convention on [c3_ls] *)
+      leaf_spine_resolve_switch ls name
+  in
+  edge_naming ~topo:ls.Topology.topo resolve_switch
+
+(* which tier a plan event disturbs, for per-tier scorecard breakdowns:
+   any edge or switch touching a core is "core"; host access links are
+   "host"; intra-pod leaf/spine faults are "pod"; vswitch-side loss
+   profiles are "vedge" *)
+let tier_of_event (n : naming) topo (ev : Fault_plan.event) =
+  let level_of node =
+    match Topology.node topo node with
+    | Topology.Host_node _ -> None
+    | Topology.Switch_node (lvl, _) -> Some lvl
+  in
+  let switch_tier lvl =
+    match lvl with Switch.Core_sw -> "core" | Switch.Leaf | Switch.Spine -> "pod"
+  in
+  let edge_tier name =
+    match n.resolve_edge name with
+    | None -> "unknown"
+    | Some e -> (
+      match (level_of e.Topology.a, level_of e.Topology.b) with
+      | Some Switch.Core_sw, _ | _, Some Switch.Core_sw -> "core"
+      | None, _ | _, None -> "host"
+      | Some _, Some _ -> "pod")
+  in
+  match ev.Fault_plan.spec with
+  | Fault_plan.Down e | Fault_plan.Up e
+  | Fault_plan.Flap { edge = e; _ }
+  | Fault_plan.Brownout { edge = e; _ } ->
+    edge_tier e
+  | Fault_plan.Switch_down s | Fault_plan.Switch_up s -> (
+    match n.resolve_switch s with
+    | None -> "unknown"
+    | Some node -> (
+      match level_of node with Some lvl -> switch_tier lvl | None -> "unknown"))
+  | Fault_plan.Feedback_loss _ | Fault_plan.Probe_loss _ -> "vedge"
+
+let names (n : naming) : Fault_plan.names =
+  {
+    Fault_plan.edge_known = (fun s -> Option.is_some (n.resolve_edge s));
+    switch_known = (fun s -> Option.is_some (n.resolve_switch s));
+  }
 
 type t = {
   sched : Scheduler.t;

@@ -24,6 +24,25 @@ val leaf_spine_naming : Topology.leaf_spine -> naming
     bundle index 1; no letter means bundle 0).  Either endpoint order
     works. *)
 
+val clos3_naming : Topology.clos3 -> naming
+(** Three-tier naming.  Cores are ["core0"].. (0-based); pod-scoped
+    switches are ["l<pod>.<i>"] / ["s<pod>.<i>"] (both 1-based, e.g.
+    ["s2.1"] is pod 2's first spine); flattened pod-major names
+    (["l3"], ["s4"]) keep working as on the two-tier view.  Edges
+    combine any two switch names (["l2.1-s2.2"], ["s1.2-core1"]) with
+    the same bundle-letter suffix as {!leaf_spine_naming}. *)
+
+val names : naming -> Fault_plan.names
+(** Membership predicates for {!Fault_plan.parse}'s parse-time name
+    validation. *)
+
+val tier_of_event : naming -> Topology.t -> Fault_plan.event -> string
+(** The tier a plan event disturbs: ["core"] (any edge or switch
+    touching a core switch), ["pod"] (intra-pod leaf/spine), ["host"]
+    (access links), ["vedge"] (feedback/probe loss profiles), or
+    ["unknown"] for unresolvable names.  Drives the chaos scorecard's
+    per-tier breakdown. *)
+
 type t
 
 val create :

@@ -21,6 +21,11 @@ type spec =
 type event = { at : Sim_time.span; spec : spec }
 type t = event list
 
+type names = {
+  edge_known : string -> bool;
+  switch_known : string -> bool;
+}
+
 (* ------------------------------ durations ------------------------- *)
 
 let span_of_string s =
@@ -91,7 +96,23 @@ let check_prob ~item ~what p =
   if p >= 0.0 && p < 1.0 then Ok p
   else Error (Printf.sprintf "%s must be in [0, 1) in %S" what item)
 
-let parse_item item =
+(* reject unknown symbolic names while the offending item text is still
+   in hand — callers with a topology in scope get parse-time errors
+   instead of arm-time ones *)
+let check_names ~item names spec =
+  match names with
+  | None -> Ok ()
+  | Some ns -> (
+    match spec with
+    | Down n | Up n | Flap { edge = n; _ } | Brownout { edge = n; _ } ->
+      if ns.edge_known n then Ok ()
+      else Error (Printf.sprintf "unknown edge %S in %S" n item)
+    | Switch_down n | Switch_up n ->
+      if ns.switch_known n then Ok ()
+      else Error (Printf.sprintf "unknown switch %S in %S" n item)
+    | Feedback_loss _ | Probe_loss _ -> Ok ())
+
+let parse_item ?names item =
   (* grammar: <verb> [target] [key=value ...] @<start-time> *)
   match String.index_opt item '@' with
   | None -> Error (Printf.sprintf "missing @time in %S" item)
@@ -174,9 +195,10 @@ let parse_item item =
         Ok (Switch_up tgt)
       | v -> Error (Printf.sprintf "unknown fault verb %S in %S" v item)
     in
+    let* () = check_names ~item names spec in
     Ok { at; spec }
 
-let parse s =
+let parse ?names s =
   let items = split_trim ';' s in
   if items = [] then Error "empty fault plan"
   else
@@ -187,7 +209,7 @@ let parse s =
              (fun a b -> Sim_time.compare_span a.at b.at)
              (List.rev acc))
       | item :: rest -> (
-        match parse_item item with
+        match parse_item ?names item with
         | Ok ev -> go (ev :: acc) rest
         | Error _ as e -> e)
     in

@@ -26,8 +26,11 @@
     Edge names follow the topology naming convention of the executing
     engine (for the paper's leaf–spine: ["s2-l2b"] is the second
     parallel link between spine 2 and leaf 2; see
-    {!Fault_engine.leaf_spine_naming}).  Parsing is pure: names are
-    resolved at arm time. *)
+    {!Fault_engine.leaf_spine_naming}; for 3-tier Clos, ["core0"] /
+    ["s1.2"] / ["l2.1-s2.2"] — see {!Fault_engine.clos3_naming}).
+    Parsing is pure; pass [?names] membership predicates (from
+    {!Fault_engine.names}) to reject unknown switch/edge names at parse
+    time instead of arm time. *)
 
 type spec =
   | Down of string
@@ -54,9 +57,18 @@ type event = { at : Sim_time.span; spec : spec }
 type t = event list
 (** Sorted by [at] (stable for equal times, preserving spec order). *)
 
-val parse : string -> (t, string) result
+type names = {
+  edge_known : string -> bool;
+  switch_known : string -> bool;
+}
+(** Membership predicates over a topology's symbolic names, used by
+    {!parse} to fail fast on typos.  Build one from a live naming with
+    {!Fault_engine.names}. *)
+
+val parse : ?names:names -> string -> (t, string) result
 (** Parse a CLI fault spec; the error is a human-readable message naming
-    the offending item. *)
+    the offending item.  With [?names], any edge/switch target unknown to
+    the predicates is a parse error ([unknown edge "x" in "item"]). *)
 
 val span_of_string : string -> (Sim_time.span, string) result
 (** ["60ms"], ["10us"], ["2s"], ["500ns"], or bare seconds. *)

@@ -242,7 +242,11 @@ let send t pkt =
     else audit_drop "queue-overflow"
   end
   else begin
+    (* a dead egress accounts offered bytes in the queue stats too, same
+       as the [set_up false] drain, so switch-down (which fails every
+       incident link) balances byte conservation at core tier fan-outs *)
     t.down_drops <- t.down_drops + 1;
+    Pkt_queue.count_drop t.queue pkt;
     audit_drop "link-down"
   end
 

@@ -133,6 +133,83 @@ let leaf_spine ~leaves ~spines ~hosts_per_leaf ~parallel ~host_rate_bps ~fabric_
     leaf_ids;
   { topo; host_ids; leaf_ids; spine_ids }
 
+type clos3 = {
+  c3_ls : leaf_spine;
+  c3_pods : int;
+  c3_leaves_per_pod : int;
+  c3_spines_per_pod : int;
+  c3_core_ids : int array;
+}
+
+let clos3 ~pods ~leaves_per_pod ~spines_per_pod ~cores ~hosts_per_leaf ~parallel
+    ~host_rate_bps ~fabric_rate_bps ~core_rate_bps ~host_delay ~fabric_delay
+    ~core_delay =
+  if pods < 1 || leaves_per_pod < 1 || spines_per_pod < 1 || cores < 1
+     || hosts_per_leaf < 1 || parallel < 1
+  then invalid_arg "Topology.clos3: all counts must be positive";
+  if cores mod spines_per_pod <> 0 then
+    invalid_arg
+      "Topology.clos3: cores must be a multiple of spines_per_pod (core k \
+       homes on spine k mod spines_per_pod of every pod)";
+  let topo = create () in
+  (* node order mirrors [leaf_spine]: every leaf, then every spine (both
+     pod-major), then the cores, then hosts leaf by leaf — so the
+     flattened [c3_ls] view looks exactly like a wide leaf-spine to code
+     that only understands two tiers *)
+  let leaf_ids =
+    Array.init (pods * leaves_per_pod) (fun _ -> add_switch topo Switch.Leaf)
+  in
+  let spine_ids =
+    Array.init (pods * spines_per_pod) (fun _ -> add_switch topo Switch.Spine)
+  in
+  let core_ids = Array.init cores (fun _ -> add_switch topo Switch.Core_sw) in
+  let host_ids =
+    Array.init (pods * leaves_per_pod) (fun leaf ->
+        Array.init hosts_per_leaf (fun _ ->
+            let h = add_host topo in
+            let (_ : edge) =
+              connect topo h leaf_ids.(leaf) ~rate_bps:host_rate_bps
+                ~delay:host_delay ()
+            in
+            h))
+  in
+  (* intra-pod full bipartite leaf <-> spine, [parallel] bundles *)
+  for pod = 0 to pods - 1 do
+    for l = 0 to leaves_per_pod - 1 do
+      for s = 0 to spines_per_pod - 1 do
+        for k = 0 to parallel - 1 do
+          let (_ : edge) =
+            connect topo
+              leaf_ids.((pod * leaves_per_pod) + l)
+              spine_ids.((pod * spines_per_pod) + s)
+              ~rate_bps:fabric_rate_bps ~delay:fabric_delay ~bundle_index:k ()
+          in
+          ()
+        done
+      done
+    done
+  done;
+  (* core k homes on spine (k mod spines_per_pod) of every pod, so each
+     spine owns cores / spines_per_pod core uplinks — the oversubscription
+     knob is the core count and [core_rate_bps] *)
+  Array.iteri
+    (fun k core ->
+      for pod = 0 to pods - 1 do
+        let spine = spine_ids.((pod * spines_per_pod) + (k mod spines_per_pod)) in
+        let (_ : edge) =
+          connect topo spine core ~rate_bps:core_rate_bps ~delay:core_delay ()
+        in
+        ()
+      done)
+    core_ids;
+  {
+    c3_ls = { topo; host_ids; leaf_ids; spine_ids };
+    c3_pods = pods;
+    c3_leaves_per_pod = leaves_per_pod;
+    c3_spines_per_pod = spines_per_pod;
+    c3_core_ids = core_ids;
+  }
+
 let fat_tree ~k ~host_rate_bps ~fabric_rate_bps ~host_delay ~fabric_delay =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
   let topo = create () in

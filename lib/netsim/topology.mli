@@ -71,6 +71,45 @@ val leaf_spine :
     [leaves = 2], [spines = 2], [parallel = 2] this is exactly the paper's
     testbed: four disjoint leaf-to-leaf paths. *)
 
+(** {2 Three-tier Clos builder}
+
+    Pods of a full-bipartite leaf/spine stage plus a core tier (level
+    [Core_sw]).  Core [k] connects to spine [k mod spines_per_pod] of
+    every pod, so inter-pod traffic climbs leaf -> spine -> core -> spine
+    -> leaf.  Oversubscription is configured by the core count and
+    [core_rate_bps] (heterogeneous rates are first-class: host, fabric
+    and core stages each take their own rate/delay). *)
+
+type clos3 = {
+  c3_ls : leaf_spine;
+      (** Flattened two-tier view: [c3_ls.leaf_ids] and [c3_ls.spine_ids]
+          are pod-major, [c3_ls.host_ids] is indexed by global leaf index.
+          Code that only understands leaf-spine (edge schemes, sharding,
+          traffic) operates on this view unchanged. *)
+  c3_pods : int;
+  c3_leaves_per_pod : int;
+  c3_spines_per_pod : int;
+  c3_core_ids : int array;
+}
+
+val clos3 :
+  pods:int ->
+  leaves_per_pod:int ->
+  spines_per_pod:int ->
+  cores:int ->
+  hosts_per_leaf:int ->
+  parallel:int ->
+  host_rate_bps:float ->
+  fabric_rate_bps:float ->
+  core_rate_bps:float ->
+  host_delay:Sim_time.span ->
+  fabric_delay:Sim_time.span ->
+  core_delay:Sim_time.span ->
+  clos3
+(** [cores] must be a positive multiple of [spines_per_pod]; with
+    [cores = 2 * spines_per_pod] every spine owns two core uplinks, giving
+    hop-by-hop schemes a local alternative when one core degrades. *)
+
 (** {2 Fat-tree builder}
 
     A 3-tier k-ary fat-tree, for demonstrating the paper's claim that Clove

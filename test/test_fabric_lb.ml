@@ -1,4 +1,5 @@
-(* Tests for the CONGA in-fabric load balancer. *)
+(* Tests for the in-fabric load balancers: CONGA and the 3-tier CAFT
+   baseline. *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -108,6 +109,76 @@ let test_conga_asymmetric_beats_ecmp () =
     (Printf.sprintf "conga (%.4fs) beats ecmp (%.4fs)" conga ecmp)
     true (conga < ecmp)
 
+(* ------------------------------- CAFT ------------------------------ *)
+
+let build_caft () =
+  let params =
+    {
+      Experiments.Scenario.default_params with
+      Experiments.Scenario.pods = 2;
+      hosts_per_leaf = 2;
+      seed = 9;
+    }
+  in
+  Experiments.Scenario.build ~scheme:Experiments.Scenario.S_caft params
+
+let test_caft_delivers_across_core () =
+  (* an inter-pod transfer completes, and the hop-by-hop pickers on
+     leaves, spines and cores all made flowlet decisions along the way *)
+  let scn = build_caft () in
+  let sched = Experiments.Scenario.sched scn in
+  let client = (Experiments.Scenario.clients scn).(0) in
+  let server = (Experiments.Scenario.servers scn).(0) in
+  let submit = Experiments.Scenario.connect scn ~src:client ~dst:server in
+  let finished = ref false in
+  ignore
+    (Scheduler.schedule sched ~after:(Sim_time.ms 1) (fun () ->
+         submit ~bytes:500_000 ~on_complete:(fun () -> finished := true)));
+  Scheduler.run ~until:(Sim_time.of_ns 100_000_000) sched;
+  check_bool "transfer completed" true !finished;
+  let caft =
+    match Experiments.Scenario.caft scn with
+    | Some c -> c
+    | None -> Alcotest.fail "caft not installed"
+  in
+  check_bool "made decisions" true (Fabric_lb.Caft.decisions caft > 0);
+  check_bool "created flowlets" true
+    (Fabric_lb.Caft.flowlets_started caft > 0);
+  check_int "reweighted once at install" 1 (Fabric_lb.Caft.reweights caft);
+  (* 3-tier scenario handle present, with the flattened 2-tier view *)
+  check_bool "clos3 exposed" true
+    (Option.is_some (Experiments.Scenario.clos scn));
+  Experiments.Scenario.quiesce scn
+
+let test_caft_spreads_over_both_cores () =
+  (* with two core uplinks per spine, sustained inter-pod traffic must
+     use more than one core (a single-path scheme would pin to one) *)
+  let scn = build_caft () in
+  let sched = Experiments.Scenario.sched scn in
+  let clients = Experiments.Scenario.clients scn in
+  let servers = Experiments.Scenario.servers scn in
+  Array.iteri
+    (fun i c ->
+      let submit =
+        Experiments.Scenario.connect scn ~src:c
+          ~dst:servers.(i mod Array.length servers)
+      in
+      ignore
+        (Scheduler.schedule sched ~after:(Sim_time.ms 1) (fun () ->
+             submit ~bytes:4_000_000 ~on_complete:(fun () -> ()))))
+    clients;
+  Scheduler.run ~until:(Sim_time.of_ns 60_000_000) sched;
+  let cores =
+    Array.to_list (Fabric.switches (Experiments.Scenario.fabric scn))
+    |> List.filter (fun sw -> Switch.level sw = Switch.Core_sw)
+    |> List.filter (fun sw -> Switch.rx_packets sw > 0)
+  in
+  check_bool
+    (Printf.sprintf "%d cores carried traffic" (List.length cores))
+    true
+    (List.length cores >= 2);
+  Experiments.Scenario.quiesce scn
+
 let () =
   Alcotest.run "fabric_lb"
     [
@@ -117,5 +188,12 @@ let () =
           Alcotest.test_case "metadata flows" `Quick test_conga_metadata_flows;
           Alcotest.test_case "avoids degraded spine" `Slow test_conga_avoids_degraded_spine;
           Alcotest.test_case "beats ecmp under asymmetry" `Slow test_conga_asymmetric_beats_ecmp;
+        ] );
+      ( "caft",
+        [
+          Alcotest.test_case "delivers across the core" `Quick
+            test_caft_delivers_across_core;
+          Alcotest.test_case "spreads over both cores" `Quick
+            test_caft_spreads_over_both_cores;
         ] );
     ]

@@ -86,6 +86,28 @@ let test_fallback_matches_legacy_records () =
   (* canonical_dump sorts both, so legacy (0) and fallback (1) agree *)
   check_string "legacy and serial-fallback digests equal" (run 0) (run 1)
 
+(* 3-tier Clos under CAFT: PDES shards the core tier round-robin along
+   with the flattened leaves; digests must stay byte-identical at every
+   width, including the hop-by-hop picker state on core switches. *)
+let test_clos3_caft_sharded_digest () =
+  let params =
+    {
+      Scenario.default_params with
+      Scenario.pods = 2;
+      hosts_per_leaf = 2;
+      seed = 11;
+      size_scale = 0.1;
+    }
+  in
+  let run shards =
+    run_once ~shards ~scheme:Scenario.S_caft ~params ~load:0.2 ~jobs_per_conn:3
+  in
+  let serial = run 1 in
+  check_bool "3-tier run not empty" true (String.length serial > 0);
+  check_string "legacy = serial fallback" (run 0) serial;
+  check_string "shard 2 = serial" serial (run 2);
+  check_string "shard 4 = serial" serial (run 4)
+
 (* ------------------- window validation at plan time ----------------- *)
 
 let test_window_rejects_short_cross_link () =
@@ -148,6 +170,8 @@ let () =
           qc prop_sharded_equals_serial;
           Alcotest.test_case "fallback = legacy records" `Quick
             test_fallback_matches_legacy_records;
+          Alcotest.test_case "3-tier CAFT digests shard-invariant" `Quick
+            test_clos3_caft_sharded_digest;
         ] );
       ( "partition",
         [
