@@ -630,35 +630,54 @@ let chaos3_benchmark () =
 (* ------------- part 6: hot-path A/B benchmark ---------------------- *)
 
 type hotpath_run = {
-  hp_wall : float;
+  hp_wall : float; (* best of the reps *)
   hp_minor_words : float;
+  hp_promoted_words : float;
+  hp_major_words : float;
   hp_events : int;
   hp_wheel_scheduled : int;
   hp_heap_scheduled : int;
   hp_compactions : int;
+  hp_batches : int;
+  hp_batched_events : int;
+  hp_pool_hits : int;
+  hp_pool_misses : int;
+  hp_pool_dropped : int;
   hp_flows_tracked : int;
   hp_dump : string;  (* canonical FCT records, for the A/B cross-check *)
 }
 
-(* Same-host, same-process A/B of the scheduler hot path: the flagship
+(* Deterministic allocation ceiling for the full optimized path, in
+   minor-heap words per event.  Minor words are a property of the code,
+   not the host — the same build allocates the same words wherever it
+   runs — so unlike events/s this gate cannot be loosened by a noisy
+   CI box.  History: seed ~23.5 w/e, wheel+tags pass 12.9 w/e, arena +
+   flat-record pass 6.3 w/e. *)
+let minor_words_budget = 8.0
+
+(* Same-host, same-process A/B/C of the scheduler hot path: the flagship
    websearch scenario (failure recovery on, so the maintain tick and idle
-   flowlet eviction run) once on the seed's closure-per-event binary-heap
-   path and once on the timer wheel + defunctionalized events + flat
-   tables.  The two runs must produce byte-identical FCT records — the
+   flowlet eviction run) on the seed's closure-per-event binary-heap
+   path, on the timer wheel + defunctionalized tags path (the previous
+   optimization round), and on the full path with batched event
+   delivery.  All runs must produce byte-identical FCT records — the
    optimization's contract is that it is observationally invisible — and
-   the GC/throughput numbers for both land in results/BENCH_hotpath.json
-   so CI tracks the delta measured under identical conditions. *)
+   the GC/pool/throughput numbers land in results/BENCH_hotpath.json so
+   CI tracks the trajectory measured under identical conditions.  Wall
+   times are the best of [reps] back-to-back runs: the minimum is the
+   closest observable to the true cost on a timeshared box. *)
 let hotpath_benchmark () =
   (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let jobs =
-    match Sys.getenv_opt "CLOVE_BENCH_QUICK" with Some _ -> 20 | None -> 60
-  in
+  let quick = Sys.getenv_opt "CLOVE_BENCH_QUICK" <> None in
+  let jobs = if quick then 20 else 60 in
+  let reps = if quick then 2 else 3 in
   let load = 0.6 in
   let seed = 1 in
-  let run_config ~defunc ~wheel =
+  let run_once ~defunc ~wheel ~batch =
     Scheduler.defunctionalized := defunc;
     (* must be set before [Scenario.build]: captured at scheduler creation *)
     Scheduler.wheel_enabled := wheel;
+    Scheduler.batched := batch;
     let params =
       {
         Scenario.default_params with
@@ -685,13 +704,15 @@ let hotpath_benchmark () =
       }
     in
     let sched = Scenario.sched scn in
-    let minor0 = Gc.minor_words () in
+    Netsim.Packet_pool.reset_stats ();
+    let minor0, promoted0, major0 = Gc.counters () in
     (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
     let t0 = Unix.gettimeofday () in
     let fct = Workload.Websearch.run ~sched ~rng:(Scenario.rng scn) ~conns cfg in
     (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
     let wall = Unix.gettimeofday () -. t0 in
-    let minor_words = Gc.minor_words () -. minor0 in
+    let minor1, promoted1, major1 = Gc.counters () in
+    let pool = Netsim.Packet_pool.stats () in
     (* table pressure = the busiest vswitch's high-water mark, not the
        post-run residual (idle eviction empties tables before we poll) *)
     let flows_tracked =
@@ -704,11 +725,18 @@ let hotpath_benchmark () =
     let r =
       {
         hp_wall = wall;
-        hp_minor_words = minor_words;
+        hp_minor_words = minor1 -. minor0;
+        hp_promoted_words = promoted1 -. promoted0;
+        hp_major_words = major1 -. major0;
         hp_events = Scheduler.events_fired sched;
         hp_wheel_scheduled = Scheduler.wheel_scheduled sched;
         hp_heap_scheduled = Scheduler.heap_scheduled sched;
         hp_compactions = Scheduler.compactions sched;
+        hp_batches = Scheduler.batches_dispatched sched;
+        hp_batched_events = Scheduler.batched_events sched;
+        hp_pool_hits = pool.Netsim.Packet_pool.hits;
+        hp_pool_misses = pool.Netsim.Packet_pool.misses;
+        hp_pool_dropped = pool.Netsim.Packet_pool.dropped;
         hp_flows_tracked = flows_tracked;
         hp_dump = Workload.Fct_stats.canonical_dump fct;
       }
@@ -716,11 +744,23 @@ let hotpath_benchmark () =
     Scenario.quiesce scn;
     Scheduler.defunctionalized := true;
     Scheduler.wheel_enabled := true;
+    Scheduler.batched := true;
     r
+  in
+  let run_config ~defunc ~wheel ~batch =
+    (* keep the last rep's counters (identical across reps — the runs are
+       deterministic) but the best wall time *)
+    let r = ref (run_once ~defunc ~wheel ~batch) in
+    for _ = 2 to reps do
+      let next = run_once ~defunc ~wheel ~batch in
+      r := { next with hp_wall = Float.min next.hp_wall !r.hp_wall }
+    done;
+    !r
   in
   let config_json r =
     let events = float_of_int r.hp_events in
     let scheduled = r.hp_wheel_scheduled + r.hp_heap_scheduled in
+    let acquires = r.hp_pool_hits + r.hp_pool_misses in
     Analysis.Json_out.Obj
       [
         ("wall_time_sec", Float r.hp_wall);
@@ -730,6 +770,8 @@ let hotpath_benchmark () =
         ("minor_words", Float r.hp_minor_words);
         ( "minor_words_per_event",
           Float (if r.hp_events > 0 then r.hp_minor_words /. events else nan) );
+        ("promoted_words", Float r.hp_promoted_words);
+        ("major_words", Float r.hp_major_words);
         ("wheel_scheduled", Int r.hp_wheel_scheduled);
         ("heap_scheduled", Int r.hp_heap_scheduled);
         ( "wheel_fraction",
@@ -738,14 +780,29 @@ let hotpath_benchmark () =
                float_of_int r.hp_wheel_scheduled /. float_of_int scheduled
              else 0.0) );
         ("compactions", Int r.hp_compactions);
+        ("batches_dispatched", Int r.hp_batches);
+        ("batched_events", Int r.hp_batched_events);
+        ("pool_hits", Int r.hp_pool_hits);
+        ("pool_misses", Int r.hp_pool_misses);
+        ("pool_dropped", Int r.hp_pool_dropped);
+        ( "pool_hit_rate",
+          Float
+            (if acquires > 0 then
+               float_of_int r.hp_pool_hits /. float_of_int acquires
+             else nan) );
         ("flows_tracked", Int r.hp_flows_tracked);
       ]
   in
-  Format.printf "== hot-path A/B (websearch/clove-ecn, load %.1f, %d jobs/conn) ==@."
-    load jobs;
-  let base = run_config ~defunc:false ~wheel:false in
-  let opt = run_config ~defunc:true ~wheel:true in
-  let identical = String.equal base.hp_dump opt.hp_dump in
+  Format.printf
+    "== hot-path A/B/C (websearch/clove-ecn, load %.1f, %d jobs/conn, best of \
+     %d) ==@."
+    load jobs reps;
+  let base = run_config ~defunc:false ~wheel:false ~batch:false in
+  let mid = run_config ~defunc:true ~wheel:true ~batch:false in
+  let full = run_config ~defunc:true ~wheel:true ~batch:true in
+  let identical =
+    String.equal base.hp_dump mid.hp_dump && String.equal mid.hp_dump full.hp_dump
+  in
   let per_event r =
     if r.hp_events > 0 then r.hp_minor_words /. float_of_int r.hp_events else nan
   in
@@ -760,34 +817,215 @@ let hotpath_benchmark () =
         ("load", Float load);
         ("jobs_per_conn", Int jobs);
         ("seed", Int seed);
+        ("reps", Int reps);
         ("failure_recovery", Bool true);
         ("baseline", config_json base);
-        ("optimized", config_json opt);
+        ("pr5_path", config_json mid);
+        ("round2", config_json full);
+        ( "trajectory",
+          Analysis.Json_out.Obj
+            [
+              ("baseline_events_per_sec", Float (eps base));
+              ("pr5_path_events_per_sec", Float (eps mid));
+              ("round2_events_per_sec", Float (eps full));
+              ("round2_vs_baseline", Float (eps full /. eps base));
+              ("round2_vs_pr5_path", Float (eps full /. eps mid));
+              ("baseline_minor_words_per_event", Float (per_event base));
+              ("pr5_path_minor_words_per_event", Float (per_event mid));
+              ("round2_minor_words_per_event", Float (per_event full));
+            ] );
+        ("minor_words_budget_per_event", Float minor_words_budget);
         ( "minor_words_per_event_ratio",
-          Float (per_event opt /. per_event base) );
+          Float (per_event full /. per_event base) );
         ("deterministic", Bool identical);
       ]
   in
   let path = Filename.concat "results" "BENCH_hotpath.json" in
   Analysis.Json_out.to_file path record;
+  let line label r =
+    Format.printf
+      "  %-28s %8.2fs wall  %9.0f events/s  %6.1f minor words/event@." label
+      r.hp_wall (eps r) (per_event r)
+  in
+  line "baseline  (heap+closures)" base;
+  line "pr5 path  (wheel+tags)" mid;
+  line "round2    (wheel+tags+batch)" full;
   Format.printf
-    "  baseline  (heap+closures)  %8.2fs wall  %9.0f events/s  %6.1f minor \
-     words/event@."
-    base.hp_wall (eps base) (per_event base);
-  Format.printf
-    "  optimized (wheel+tags)     %8.2fs wall  %9.0f events/s  %6.1f minor \
-     words/event@."
-    opt.hp_wall (eps opt) (per_event opt);
-  Format.printf
-    "  wheel share %.2f  compactions %d  flows tracked %d  identical %b  -> \
-     %s@.@."
-    (let s = opt.hp_wheel_scheduled + opt.hp_heap_scheduled in
-     if s > 0 then float_of_int opt.hp_wheel_scheduled /. float_of_int s
+    "  wheel share %.2f  batches %d  pool hit rate %.3f  flows tracked %d  \
+     identical %b  -> %s@.@."
+    (let s = full.hp_wheel_scheduled + full.hp_heap_scheduled in
+     if s > 0 then float_of_int full.hp_wheel_scheduled /. float_of_int s
      else 0.0)
-    opt.hp_compactions opt.hp_flows_tracked identical path;
+    full.hp_batches
+    (let a = full.hp_pool_hits + full.hp_pool_misses in
+     if a > 0 then float_of_int full.hp_pool_hits /. float_of_int a else nan)
+    full.hp_flows_tracked identical path;
   if not identical then begin
     Format.eprintf
-      "hot-path benchmark: optimized run diverged from closure baseline@.";
+      "hot-path benchmark: optimized runs diverged from closure baseline@.";
+    exit 1
+  end;
+  if per_event full > minor_words_budget then begin
+    Format.eprintf
+      "hot-path benchmark: %.2f minor words/event exceeds the %.1f budget@."
+      (per_event full) minor_words_budget;
+    exit 1
+  end
+
+(* ------------- part 6b: streaming FCT stats benchmark -------------- *)
+
+(* The hotpath scenario at 10x the usual flow count, once with the
+   default exact sink (every record stored) and once with the streaming
+   q-digest sink.  The streaming run goes first so its top-of-heap
+   reading is not inflated by the exact run's record storage.  Recorded
+   evidence: live/max heap words per mode (flat for streaming), sketch
+   node counts (the O(1) bound), and the streamed p50/p99 against the
+   exact percentiles of the very same FCT population — the runs are
+   deterministic, so both sinks observe identical samples.  Exits
+   non-zero if a streamed quantile's true rank (against the exact run's
+   sorted samples) is off by more than the sketch's documented rank
+   error, or if the sketch outgrows its node bound. *)
+let stream_fct_benchmark () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let quick = Sys.getenv_opt "CLOVE_BENCH_QUICK" <> None in
+  let jobs = 10 * if quick then 20 else 60 in
+  let load = 0.6 in
+  let seed = 1 in
+  let run_mode ~stream =
+    let params =
+      {
+        Scenario.default_params with
+        Scenario.asymmetric = true;
+        failure_recovery = true;
+        seed;
+      }
+    in
+    let scn = Scenario.build ~scheme:Scenario.S_clove_ecn params in
+    let servers = Scenario.servers scn in
+    let conns =
+      Array.mapi
+        (fun i client ->
+          Scenario.connect scn ~src:client ~dst:servers.(i mod Array.length servers))
+        (Scenario.clients scn)
+    in
+    let cfg =
+      {
+        Workload.Websearch.load;
+        bisection_bps = Scenario.bisection_bps scn;
+        jobs_per_conn = jobs;
+        size_dist = Scenario.size_dist scn;
+        start_at = Scenario.warmup scn;
+      }
+    in
+    let sched = Scenario.sched scn in
+    (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
+    let t0 = Unix.gettimeofday () in
+    let fct =
+      Workload.Websearch.run ~stream ~sched ~rng:(Scenario.rng scn) ~conns cfg
+    in
+    (* wall-clock throughput of the harness itself — lint: allow sema-wall-clock *)
+    let wall = Unix.gettimeofday () -. t0 in
+    (* settle the heap so live_words measures what the sink retains *)
+    Gc.full_major ();
+    let st = Gc.stat () in
+    Scenario.quiesce scn;
+    (fct, wall, st.Gc.live_words, st.Gc.top_heap_words)
+  in
+  Format.printf
+    "== streaming FCT (websearch/clove-ecn, load %.1f, %d jobs/conn = 10x) ==@."
+    load jobs;
+  let s_fct, s_wall, s_live, s_top = run_mode ~stream:true in
+  let e_fct, e_wall, e_live, e_top = run_mode ~stream:false in
+  let flows = Workload.Fct_stats.count e_fct in
+  if Workload.Fct_stats.count s_fct <> flows then begin
+    Format.eprintf "stream-fct benchmark: sinks saw different flow counts@.";
+    exit 1
+  end;
+  (* exact FCTs in the sketch's nanosecond domain, sorted *)
+  let exact_ns =
+    let samples =
+      Stats.Summary.samples (Workload.Fct_stats.summary e_fct)
+    in
+    Array.map (fun s -> int_of_float (s *. 1e9)) samples
+  in
+  let true_rank v =
+    (* samples <= v, by binary search over the sorted array *)
+    let lo = ref 0 and hi = ref (Array.length exact_ns) in
+    while !lo < !hi do
+      let m = (!lo + !hi) / 2 in
+      if exact_ns.(m) <= v then lo := m + 1 else hi := m
+    done;
+    !lo
+  in
+  let eps = Workload.Fct_stats.stream_rank_error s_fct in
+  let rank_slack = (eps *. float_of_int flows) +. 1.0 in
+  let check_quantile p =
+    let streamed = Workload.Fct_stats.percentile s_fct p in
+    let exact = Workload.Fct_stats.percentile e_fct p in
+    let v_ns = int_of_float (streamed *. 1e9) in
+    let target = p /. 100.0 *. float_of_int flows in
+    let err = abs_float (float_of_int (true_rank v_ns) -. target) in
+    let ok = err <= rank_slack in
+    Format.printf
+      "  p%-4g streamed %.4fs  exact %.4fs  rank error %.0f (allowed %.0f)  \
+       %s@."
+      p streamed exact err rank_slack
+      (if ok then "ok" else "FAIL");
+    (ok, streamed, exact, err)
+  in
+  let ok50, s50, e50, err50 = check_quantile 50.0 in
+  let ok99, s99, e99, err99 = check_quantile 99.0 in
+  let nodes = Workload.Fct_stats.stream_sketch_nodes s_fct in
+  let node_bound = (3 * 4096) + 1 in
+  let nodes_ok = nodes <= node_bound in
+  let record =
+    Analysis.Json_out.Obj
+      [
+        ("scenario", String "stream-fct");
+        ("scheme", String "clove-ecn");
+        ("load", Float load);
+        ("jobs_per_conn", Int jobs);
+        ("seed", Int seed);
+        ("flows", Int flows);
+        ( "streaming",
+          Analysis.Json_out.Obj
+            [
+              ("wall_time_sec", Float s_wall);
+              ("live_words_after", Int s_live);
+              ("max_heap_words", Int s_top);
+              ("sketch_nodes", Int nodes);
+              ("sketch_node_bound", Int node_bound);
+              ("rank_error_bound", Float eps);
+              ("p50_sec", Float s50);
+              ("p99_sec", Float s99);
+            ] );
+        ( "exact",
+          Analysis.Json_out.Obj
+            [
+              ("wall_time_sec", Float e_wall);
+              ("live_words_after", Int e_live);
+              ("max_heap_words", Int e_top);
+              ("p50_sec", Float e50);
+              ("p99_sec", Float e99);
+            ] );
+        ("p50_rank_error", Float err50);
+        ("p99_rank_error", Float err99);
+        ("rank_errors_within_bound", Bool (ok50 && ok99));
+      ]
+  in
+  let path = Filename.concat "results" "BENCH_streamfct.json" in
+  Analysis.Json_out.to_file path record;
+  Format.printf
+    "  heap live words: streaming %d  exact %d  sketch nodes %d/%d  -> %s@.@."
+    s_live e_live nodes node_bound path;
+  if not (ok50 && ok99) then begin
+    Format.eprintf
+      "stream-fct benchmark: streamed quantile outside the guaranteed rank \
+       error@.";
+    exit 1
+  end;
+  if not nodes_ok then begin
+    Format.eprintf "stream-fct benchmark: sketch outgrew its node bound@.";
     exit 1
   end
 
@@ -957,6 +1195,7 @@ let () =
       "--scenarios-only";
       "--figures-only";
       "--hotpath";
+      "--stream-fct";
       "--pdes";
       "--chaos3";
     ]
@@ -967,6 +1206,7 @@ let () =
     "(CLOVE_BENCH_QUICK=1 for smoke, CLOVE_BENCH_FULL=1 for high fidelity; \
      CLOVE_DOMAINS / --domains N set the sweep pool width)@.@.";
   if List.mem "--hotpath" args then hotpath_benchmark ()
+  else if List.mem "--stream-fct" args then stream_fct_benchmark ()
   else if List.mem "--pdes" args then pdes_benchmark ()
   else if List.mem "--chaos3" args then chaos3_benchmark ()
   else if List.mem "--scenarios-only" args then begin

@@ -78,6 +78,18 @@ type t = {
   mutable presto_weight_fn : Clove_path.t -> float;
   presto_rx : Presto_rx.t;
   reorder_seq : int Int_table.t; (* clove_reorder per-flow next seq *)
+  (* pre-allocated flowlet pickers: [Flowlet.touch] takes the picker as a
+     closure, and building one per packet (capturing the path table or
+     flow key) was a per-tx allocation.  Instead the operands live in the
+     two [cur_*] slots below and the closures — built once in [create] —
+     read them; [pick_port] writes the slots immediately before the
+     [touch] call, which consumes them synchronously *)
+  mutable cur_tbl : Path_table.t;
+  mutable cur_key : int;
+  mutable pick_edge_fn : flowlet_id:int -> int;
+  mutable pick_wrr_fn : flowlet_id:int -> int;
+  mutable pick_util_fn : flowlet_id:int -> int;
+  mutable pick_lat_fn : flowlet_id:int -> int;
   peers : peer_rx_state Int_table.t;
   no_peer : peer_rx_state;
   mutable daemon : Traceroute.t option;
@@ -148,7 +160,7 @@ let peer_state t hv =
     p
   end
 
-let hashed_port key = 49152 + (Ecmp_hash.hash_tuple ~seed:0x5107 (key, 0, 0, 0) mod 16384)
+let hashed_port key = 49152 + (Ecmp_hash.hash4 ~seed:0x5107 key 0 0 0 mod 16384)
 let random_port t = 49152 + Rng.int t.rng 16384
 
 (* --------------- feedback relay (receiver side) ------------------- *)
@@ -265,28 +277,28 @@ let pick_port t ~flow_key ~dst =
   | Ecmp -> hashed_port flow_key
   | Edge_flowlet ->
     (* a fresh random source port per flowlet: hash of 5-tuple + flowlet id *)
-    Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
-        49152 + (Ecmp_hash.hash_tuple ~seed:0x1eaf (flow_key, flowlet_id, 0, 0) mod 16384))
+    t.cur_key <- flow_key;
+    Flowlet.touch t.flowlets ~key:flow_key ~pick:t.pick_edge_fn
   | Clove_ecn ->
     let tbl = table t dst in
-    if Path_table.ready tbl then
-      Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
-          ignore flowlet_id;
-          Path_table.pick_wrr tbl)
+    if Path_table.ready tbl then begin
+      t.cur_tbl <- tbl;
+      Flowlet.touch t.flowlets ~key:flow_key ~pick:t.pick_wrr_fn
+    end
     else hashed_port flow_key
   | Clove_int ->
     let tbl = table t dst in
-    if Path_table.ready tbl then
-      Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
-          ignore flowlet_id;
-          Path_table.pick_least_utilized tbl)
+    if Path_table.ready tbl then begin
+      t.cur_tbl <- tbl;
+      Flowlet.touch t.flowlets ~key:flow_key ~pick:t.pick_util_fn
+    end
     else hashed_port flow_key
   | Clove_latency ->
     let tbl = table t dst in
-    if Path_table.ready tbl then
-      Flowlet.touch t.flowlets ~key:flow_key ~pick:(fun ~flowlet_id ->
-          ignore flowlet_id;
-          Path_table.pick_min_latency tbl)
+    if Path_table.ready tbl then begin
+      t.cur_tbl <- tbl;
+      Flowlet.touch t.flowlets ~key:flow_key ~pick:t.pick_lat_fn
+    end
     else hashed_port flow_key
   | Presto -> assert false (* handled separately *)
 
@@ -371,16 +383,10 @@ let tx t pkt =
       in
       let fb = pop_feedback t ~to_hv:dst in
       if fb <> None then t.s_piggy <- t.s_piggy + 1;
-      pkt.Packet.encap <-
-        Some
-          {
-            Packet.src_hv = Host.addr t.host;
-            dst_hv = dst;
-            src_port = port;
-            dst_port = Packet.stt_port;
-            feedback = fb;
-            cell;
-          };
+      (* rewrite the packet's pre-boxed header in place: the steady-state
+         encapsulation allocates nothing *)
+      Packet.install_encap pkt ~src_hv:(Host.addr t.host) ~dst_hv:dst
+        ~src_port:port ~feedback:fb ~cell;
       pkt.Packet.size <- wire_size;
       (* arm the black-hole detector: the path carrying this packet owes
          us liveness evidence (feedback or an ACK) within the timeout *)
@@ -538,6 +544,12 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
           Presto_rx.create ~sched ~cfg ~deliver:(fun inner ->
               Transport.Stack.deliver stack inner);
         reorder_seq = Int_table.create ~capacity:64 ~dummy:0 ();
+        cur_tbl = no_table;
+        cur_key = 0;
+        pick_edge_fn = (fun ~flowlet_id -> ignore flowlet_id; 0);
+        pick_wrr_fn = (fun ~flowlet_id -> ignore flowlet_id; 0);
+        pick_util_fn = (fun ~flowlet_id -> ignore flowlet_id; 0);
+        pick_lat_fn = (fun ~flowlet_id -> ignore flowlet_id; 0);
         peers = Int_table.create ~capacity:16 ~dummy:no_peer ();
         no_peer;
         daemon = None;
@@ -556,6 +568,18 @@ let create ~host ~stack ~scheme ~cfg ~rng () =
         s_probes_dropped = 0;
       }
   in
+  (* the real pickers close over [t] (hence the post-construction knot):
+     each reads its operands from the [cur_*] slots written by
+     [pick_port] just before the [Flowlet.touch] that consumes them *)
+  t.pick_edge_fn <-
+    (fun ~flowlet_id ->
+      49152 + (Ecmp_hash.hash4 ~seed:0x1eaf t.cur_key flowlet_id 0 0 mod 16384));
+  t.pick_wrr_fn <-
+    (fun ~flowlet_id -> ignore flowlet_id; Path_table.pick_wrr t.cur_tbl);
+  t.pick_util_fn <-
+    (fun ~flowlet_id -> ignore flowlet_id; Path_table.pick_least_utilized t.cur_tbl);
+  t.pick_lat_fn <-
+    (fun ~flowlet_id -> ignore flowlet_id; Path_table.pick_min_latency t.cur_tbl);
   if needs_discovery scheme then begin
     t.daemon <-
       Some

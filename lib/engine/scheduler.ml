@@ -33,6 +33,11 @@
 let defunctionalized = ref true
 let wheel_enabled = ref true
 
+(* Third A/B switch: batch dispatch of adjacent same-kind tagged events
+   (captured per-scheduler at [create], like [wheel_enabled]).  Both
+   settings produce identical event schedules — see [dispatch_batch]. *)
+let batched = ref true
+
 type handle = {
   mutable live : bool;
   mutable kind : int; (* -1 = closure event; >= 0 = dispatch-table index *)
@@ -64,8 +69,14 @@ type t = {
   mutable next_seq : int; (* shared by wheel and heap: one tie-break stream *)
   mutable dead : int; (* cancelled handles still queued *)
   mutable handlers : (int -> unit) array;
+  mutable batch_handlers : (int array -> int -> unit) array;
+  mutable batch_capable : bool array; (* batch_handlers.(k) is real *)
   mutable kind_srcs : int array; (* component id per registered kind *)
   mutable n_kinds : int;
+  use_batch : bool;
+  mutable batch_args : int array; (* reusable operand buffer for batches *)
+  mutable batches : int; (* batch dispatches (runs of length >= 2) *)
+  mutable batched_events : int; (* events delivered inside those runs *)
   mutable cur_src : int; (* component id of the dispatching event; 0 at setup *)
   mutable pool : handle array; (* free tagged handles, stack discipline *)
   mutable pool_len : int;
@@ -87,6 +98,10 @@ let dummy_handle = { live = false; kind = -1; arg = 0; src = 0; thunk = nop }
 
 let nop_handler (_ : int) = ()
 
+(* pads [batch_handlers]; [batch_capable] decides dispatch, so this is
+   only ever called if a registration bug leaves the two out of sync *)
+let nop_batch_handler (_ : int array) (_ : int) = ()
+
 let create () =
   {
     id = 1 + Atomic.fetch_and_add next_id 1;
@@ -98,8 +113,14 @@ let create () =
     next_seq = 0;
     dead = 0;
     handlers = Array.make 8 nop_handler;
+    batch_handlers = Array.make 8 nop_batch_handler;
+    batch_capable = Array.make 8 false;
     kind_srcs = Array.make 8 0;
     n_kinds = 0;
+    use_batch = !batched;
+    batch_args = Array.make 64 0;
+    batches = 0;
+    batched_events = 0;
     cur_src = 0;
     pool = Array.make 32 dummy_handle;
     pool_len = 0;
@@ -115,16 +136,36 @@ let now t = t.clock
 let register_kind t f =
   if t.n_kinds = Array.length t.handlers then begin
     let handlers = Array.make (2 * t.n_kinds) nop_handler in
+    let batch_handlers = Array.make (2 * t.n_kinds) nop_batch_handler in
+    let batch_capable = Array.make (2 * t.n_kinds) false in
     let kind_srcs = Array.make (2 * t.n_kinds) 0 in
     Array.blit t.handlers 0 handlers 0 t.n_kinds;
+    Array.blit t.batch_handlers 0 batch_handlers 0 t.n_kinds;
+    Array.blit t.batch_capable 0 batch_capable 0 t.n_kinds;
     Array.blit t.kind_srcs 0 kind_srcs 0 t.n_kinds;
     t.handlers <- handlers;
+    t.batch_handlers <- batch_handlers;
+    t.batch_capable <- batch_capable;
     t.kind_srcs <- kind_srcs
   end;
   let k = t.n_kinds in
   t.handlers.(k) <- f;
   t.kind_srcs.(k) <- fresh_src ();
   t.n_kinds <- k + 1;
+  k
+
+(* A batch-capable kind supplies both forms of its handler: [single]
+   for isolated events (and for schedulers created with [batched]
+   off), [batch] for a coalesced run of operands.  [batch args n] must
+   be observably equivalent to [Array.iter single] over the first [n]
+   operands — the scheduler only ever coalesces events that were
+   already adjacent under the (time, born, src, seq) total order, so
+   equivalence of the two handlers is the only obligation left on the
+   component. *)
+let register_kind_batch t ~single ~batch =
+  let k = register_kind t single in
+  t.batch_handlers.(k) <- batch;
+  t.batch_capable.(k) <- true;
   k
 
 (* A component with several kinds (or the same logical event reachable
@@ -266,8 +307,68 @@ let next_time_ns t =
   prepare t;
   Event_queue.min_time_ns t.queue
 
-let step t =
-  prepare t;
+(* Coalesce the maximal run of events adjacent to the one just popped
+   (kind [k], operand [a0], firing at [time_ns]) and deliver the whole
+   run through the kind's batch handler in one call.
+
+   Why this cannot change pop order: a heap-top event joins the run
+   only if it is (a) the same kind, (b) at the same [time_ns], (c) live
+   and (d) born strictly before [time_ns].  The clock equals [time_ns]
+   for the whole run, so anything a handler schedules during the batch
+   call is born *at* [time_ns] — under the (time, born, src, seq)
+   order every such event sorts strictly after every collected event
+   (same time, later born by (d)), so pre-collecting the run pops
+   exactly the events a one-at-a-time loop would have popped, in the
+   same order.  The wheel needs no re-flush between pops: [prepare]
+   left every staged wheel entry strictly later than the heap top, and
+   the run never advances past [time_ns].
+
+   Collection stops at the first non-matching top, so a cancelled
+   handle, a closure event, or a different kind at the same instant
+   ends the run — conservative, never wrong. *)
+let grow_batch_args t =
+  let len = Array.length t.batch_args in
+  (* alloc-allow: amortized doubling of the reusable operand buffer *)
+  let args = Array.make (2 * len) 0 in
+  Array.blit t.batch_args 0 args 0 len;
+  t.batch_args <- args
+
+(* tail-recursive collection (no ref cells on the dispatch path):
+   returns the run length once the heap top stops matching *)
+let rec collect_batch t ~kind ~time_ns n =
+  if Event_queue.min_time_ns t.queue <> time_ns then n
+  else begin
+    let h = Event_queue.top_unsafe t.queue in
+    if h.live && h.kind = kind && Event_queue.top_born_ns t.queue < time_ns
+    then begin
+      let (_ : handle) = Event_queue.pop_unsafe t.queue in
+      if !Analysis.Audit.on then
+        Analysis.Audit.note_clock ~clock_id:t.id ~now_ns:time_ns;
+      t.fired <- t.fired + 1;
+      h.live <- false;
+      if n = Array.length t.batch_args then grow_batch_args t;
+      t.batch_args.(n) <- h.arg;
+      release_handle t h;
+      collect_batch t ~kind ~time_ns (n + 1)
+    end
+    else n
+  end
+
+let dispatch_batch t ~kind ~arg0 ~time_ns =
+  t.batch_args.(0) <- arg0;
+  let n = collect_batch t ~kind ~time_ns 1 in
+  if n > 1 then begin
+    t.batches <- t.batches + 1;
+    t.batched_events <- t.batched_events + n
+  end;
+  (* alloc-allow: dispatch-table fetch returns the per-component closure registered once at construction; the arrow-result rule over-approximates *)
+  let f = t.batch_handlers.(kind) in
+  f t.batch_args n
+
+(* [step] minus the wheel flush, for drivers that just called [prepare]
+   as part of their own horizon check ([run] / [run_until]): fusing the
+   two saves a second flush decision per event. *)
+let step_prepared t =
   if Event_queue.is_empty t.queue then false
   else begin
     let time_ns = Event_queue.min_time_ns t.queue in
@@ -285,7 +386,11 @@ let step t =
         let a = h.arg in
         t.cur_src <- t.kind_srcs.(k);
         release_handle t h;
-        t.handlers.(k) a
+        if t.use_batch && t.batch_capable.(k) then
+          dispatch_batch t ~kind:k ~arg0:a ~time_ns
+        else
+          (* alloc-allow: dispatch-table fetch, same over-approximation as the batch fetch in dispatch_batch *)
+          t.handlers.(k) a
       end
       else begin
         t.cur_src <- h.src;
@@ -295,6 +400,10 @@ let step t =
     else t.dead <- t.dead - 1;
     true
   end
+
+let step t =
+  prepare t;
+  step_prepared t
 
 let run ?until ?(max_events = max_int) t =
   let fired = ref 0 in
@@ -313,7 +422,7 @@ let run ?until ?(max_events = max_int) t =
        end
   in
   while continue () do
-    let (_ : bool) = step t in
+    let (_ : bool) = step_prepared t in
     incr fired
   done
 
@@ -328,7 +437,7 @@ let rec run_until t ~until_ns =
   if time_ns = max_int then ()
   else if time_ns > until_ns then t.clock <- Sim_time.of_ns until_ns
   else begin
-    let (_ : bool) = step t in
+    let (_ : bool) = step_prepared t in
     run_until t ~until_ns
   end
 
@@ -343,3 +452,5 @@ let heap_scheduled t = t.heap_scheduled
 let wheel_occupancy t = Timer_wheel.size t.wheel
 let heap_occupancy t = Event_queue.size t.queue
 let compactions t = t.compactions
+let batches_dispatched t = t.batches
+let batched_events t = t.batched_events

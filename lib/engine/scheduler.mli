@@ -54,6 +54,21 @@ val register_kind : t -> (int -> unit) -> int
     component id; components that spread one logical event stream over
     several kinds override it with {!set_kind_src}. *)
 
+val register_kind_batch :
+  t -> single:(int -> unit) -> batch:(int array -> int -> unit) -> int
+(** Like {!register_kind}, but the kind is batch-capable: when the
+    earliest pending events form a run of this kind at one instant (all
+    born strictly before it), the scheduler delivers the whole run as
+    one [batch args n] call over the first [n] operands instead of
+    re-entering dispatch per event.  Obligation on the caller:
+    [batch args n] must be observably equivalent to applying [single]
+    to [args.(0) .. args.(n-1)] in order.  Coalescing only joins events
+    already adjacent under the (time, born, src, seq) total order and
+    anything scheduled mid-batch is born at the batch instant (so sorts
+    after the whole run); pop order — and therefore every digest — is
+    unchanged.  [args] is the scheduler's reusable buffer: read it only
+    during the call. *)
+
 val set_kind_src : t -> kind:int -> src:int -> unit
 val kind_src : t -> kind:int -> int
 (** Override the component id events of [kind] rank under.  A link gives
@@ -137,6 +152,12 @@ val heap_occupancy : t -> int
 val compactions : t -> int
 (** Dead-handle sweeps performed. *)
 
+val batches_dispatched : t -> int
+(** Coalesced runs (length >= 2) delivered through a batch handler. *)
+
+val batched_events : t -> int
+(** Events delivered inside those runs (throughput accounting). *)
+
 val defunctionalized : bool ref
 (** A/B switch for the benchmark harness: when [false], components fall
     back to closure scheduling on their steady-state paths.  Both
@@ -145,3 +166,9 @@ val defunctionalized : bool ref
 val wheel_enabled : bool ref
 (** A/B switch: whether schedulers created from now on stage short
     timers in the wheel.  Both settings produce identical results. *)
+
+val batched : bool ref
+(** A/B switch, captured per-scheduler at {!create}: whether adjacent
+    same-kind tagged events dispatch as coalesced runs through their
+    {!register_kind_batch} batch handler.  Both settings produce
+    identical results (see {!register_kind_batch}). *)

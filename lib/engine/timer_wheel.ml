@@ -20,9 +20,10 @@
    - [min_bound_ns] is O(1): a cached lower bound on the earliest queued
      entry time, tightened by [add] and raised past flushed windows by
      [advance], so the common "heap top pops next" case is one compare.
-   - [advance] skips runs of empty slots by scanning slot occupancy (one
-     int read per live slot, <= levels * 2^bits reads) instead of
-     stepping the frontier one granule at a time across idle gaps. *)
+   - [advance] skips runs of empty slots via a per-level occupancy
+     bitmap (32 slots per word, find-first-set) instead of stepping the
+     frontier one granule at a time across idle gaps or reading up to
+     [levels * 2^bits] slot lengths per hop. *)
 
 type slot = {
   mutable s_times : int array;
@@ -40,6 +41,13 @@ type 'a t = {
   levels : int;
   slots : slot array; (* levels * 2^bits, level-major *)
   vals : 'a array array; (* payload columns, parallel to [slots] *)
+  (* per-level slot-occupancy bitmap, 32 bits per word: bit [i land 31]
+     of [occ.(level * occ_words + (i lsr 5))] is set iff ring slot [i]
+     of that level is non-empty.  [next_occupied_window] runs once per
+     flushed window on the scheduler's hot path; scanning a handful of
+     words beats reading up to [2^bits] slot lengths per level *)
+  occ : int array;
+  occ_words : int; (* words per level; power of two *)
   mutable frontier : int; (* absolute ns, multiple of 2^g_bits *)
   mutable count : int;
   mutable lb : int; (* lower bound on min queued entry time, ns *)
@@ -50,6 +58,7 @@ let empty_ints = [||]
 let create ?(bits = 8) ?(g_bits = 6) ?(levels = 3) ~dummy ~keep () =
   if bits < 1 || g_bits < 0 || levels < 1 then invalid_arg "Timer_wheel.create";
   let nslots = levels lsl bits in
+  let occ_words = max 1 ((1 lsl bits) lsr 5) in
   {
     dummy;
     keep;
@@ -66,10 +75,23 @@ let create ?(bits = 8) ?(g_bits = 6) ?(levels = 3) ~dummy ~keep () =
             s_len = 0;
           });
     vals = Array.make nslots [||];
+    occ = Array.make (levels * occ_words) 0;
+    occ_words;
     frontier = 0;
     count = 0;
     lb = max_int;
   }
+
+(* [idx] is the level-major slot index (level lsl bits) lor ring *)
+let[@inline] occ_set t idx =
+  let level = idx lsr t.bits and ring = idx land ((1 lsl t.bits) - 1) in
+  let wi = (level * t.occ_words) + (ring lsr 5) in
+  t.occ.(wi) <- t.occ.(wi) lor (1 lsl (ring land 31))
+
+let[@inline] occ_clear t idx =
+  let level = idx lsr t.bits and ring = idx land ((1 lsl t.bits) - 1) in
+  let wi = (level * t.occ_words) + (ring lsr 5) in
+  t.occ.(wi) <- t.occ.(wi) land lnot (1 lsl (ring land 31))
 
 let size t = t.count
 let is_empty t = t.count = 0
@@ -107,6 +129,7 @@ let slot_push t idx ~time_ns ~born_ns ~src ~seq v =
   s.s_srcs.(s.s_len) <- src;
   s.s_seqs.(s.s_len) <- seq;
   t.vals.(idx).(s.s_len) <- v;
+  if s.s_len = 0 then occ_set t idx;
   s.s_len <- s.s_len + 1
 
 (* Place at the smallest level whose live window reaches [time_ns]: level
@@ -137,26 +160,51 @@ let add t ~time_ns ~born_ns ~src ~seq v =
   end
   else false
 
+(* index of the lowest set bit; caller guarantees [w <> 0] *)
+let rec ctz_from w i = if w land (1 lsl i) <> 0 then i else ctz_from w (i + 1)
+
+(* whole words after the start word, wrapping; then the start word's low
+   bits (positions before [start]) close the circle.  Top-level (not a
+   local closure) so the per-[advance] call allocates nothing. *)
+let rec scan_words occ ~base ~wi ~bit ~words ~start ~mask j =
+  if j > words then max_int
+  else begin
+    let wj = (wi + j) land (words - 1) in
+    let w =
+      if j = words then occ.(base + wi) land ((1 lsl bit) - 1)
+      else occ.(base + wj)
+    in
+    if w <> 0 then ((wj lsl 5) + ctz_from w 0 - start) land mask
+    else scan_words occ ~base ~wi ~bit ~words ~start ~mask (j + 1)
+  end
+
+(* Circular distance (in ring slots, 0..mask) from ring position [start]
+   to the nearest occupied slot of [level]; [max_int] if the level is
+   empty.  Reads occupancy words, not slot lengths. *)
+let first_occupied_distance t ~level ~start =
+  let words = t.occ_words in
+  let base = level * words in
+  let wi = start lsr 5 and bit = start land 31 in
+  let w0 = t.occ.(base + wi) lsr bit in
+  if w0 <> 0 then ctz_from w0 0
+  else
+    let mask = (1 lsl t.bits) - 1 in
+    scan_words t.occ ~base ~wi ~bit ~words ~start ~mask 1
+
 (* Earliest window start (granule-aligned) holding any entry, scanning
    each ring's live window from the frontier's slot forward; [max_int]
-   when the wheel is empty.  One [s_len] read per scanned slot. *)
+   when the wheel is empty.  A handful of occupancy-word reads per level. *)
 let next_occupied_window t =
   let mask = (1 lsl t.bits) - 1 in
   let best = ref max_int in
   for k = 0 to t.levels - 1 do
     let sh = shift t k in
     let fslot = t.frontier lsr sh in
-    let d = ref 0 in
-    let found = ref false in
-    while (not !found) && !d <= mask do
-      let abs_slot = fslot + !d in
-      if t.slots.((k lsl t.bits) lor (abs_slot land mask)).s_len > 0 then begin
-        let w = abs_slot lsl sh in
-        if w < !best then best := w;
-        found := true
-      end;
-      incr d
-    done
+    let d = first_occupied_distance t ~level:k ~start:(fslot land mask) in
+    if d <> max_int then begin
+      let w = (fslot + d) lsl sh in
+      if w < !best then best := w
+    end
   done;
   !best
 
@@ -171,6 +219,7 @@ let flush_slot t ~level idx ~into ~dropped =
   if n > 0 then begin
     let vals = t.vals.(idx) in
     s.s_len <- 0;
+    occ_clear t idx;
     for i = 0 to n - 1 do
       let v = vals.(i) in
       let time_ns = s.s_times.(i)
@@ -280,6 +329,7 @@ let compact t =
       let removed = s.s_len - !kept in
       Array.fill vals !kept removed t.dummy;
       s.s_len <- !kept;
+      if !kept = 0 then occ_clear t idx;
       t.count <- t.count - removed;
       dropped := !dropped + removed
     end
@@ -293,5 +343,6 @@ let clear t =
       Array.fill t.vals.(idx) 0 s.s_len t.dummy;
       s.s_len <- 0)
     t.slots;
+  Array.fill t.occ 0 (Array.length t.occ) 0;
   t.count <- 0;
   t.lb <- max_int

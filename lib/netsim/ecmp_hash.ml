@@ -5,28 +5,35 @@ let mix h v =
   let h = (h lxor (h lsr 15)) * 0x85EBCA77 in
   (h lxor (h lsr 13)) land max_int
 
-let hash_tuple ~seed (a, b, c, d) =
+(* the tuple-free entry point: per-packet per-hop callers pass the four
+   fields directly so no tuple is allocated on the forwarding path *)
+let hash4 ~seed a b c d =
   let h = mix seed a in
   let h = mix h b in
   let h = mix h c in
   let h = mix h d in
   mix h 0x2545F491
 
+let hash_tuple ~seed (a, b, c, d) = hash4 ~seed a b c d
+
 let select ~seed pkt ~n =
   if n <= 0 then invalid_arg "Ecmp_hash.select: n must be positive";
-  let tuple =
-    match Packet.outer_tuple pkt with
-    | Some t -> t
+  let h =
+    match pkt.Packet.encap with
+    | Some e ->
+      hash4 ~seed (Addr.to_int e.Packet.src_hv) (Addr.to_int e.Packet.dst_hv)
+        e.Packet.src_port e.Packet.dst_port
     | None -> (
       match pkt.Packet.payload with
       | Packet.Tenant inner ->
         let s = inner.Packet.seg in
-        ( Addr.to_int inner.Packet.src + (s.Packet.subflow * 65536),
-          Addr.to_int inner.Packet.dst,
-          s.Packet.src_port,
-          s.Packet.dst_port )
+        hash4 ~seed
+          (Addr.to_int inner.Packet.src + (s.Packet.subflow * 65536))
+          (Addr.to_int inner.Packet.dst)
+          s.Packet.src_port s.Packet.dst_port
       | Packet.Probe p ->
-        (Addr.to_int p.Packet.probe_src, Addr.to_int p.Packet.probe_dst, p.Packet.probe_port, 0)
-      | Packet.Probe_reply r -> (0, Addr.to_int r.Packet.reply_to, 0, 0))
+        hash4 ~seed (Addr.to_int p.Packet.probe_src)
+          (Addr.to_int p.Packet.probe_dst) p.Packet.probe_port 0
+      | Packet.Probe_reply r -> hash4 ~seed 0 (Addr.to_int r.Packet.reply_to) 0 0)
   in
-  hash_tuple ~seed tuple mod n
+  h mod n

@@ -5,8 +5,12 @@
     and differs per hop, which is exactly why Clove needs traceroute-based
     path discovery rather than computing paths analytically. *)
 
+val hash4 : seed:int -> int -> int -> int -> int -> int
+(** Deterministic non-negative hash of (src, dst, sport, dport) passed
+    as bare arguments — the per-packet per-hop path, no tuple boxed. *)
+
 val hash_tuple : seed:int -> int * int * int * int -> int
-(** Deterministic non-negative hash of (src, dst, sport, dport). *)
+(** [hash4] over a materialized tuple; identical values. *)
 
 val select : seed:int -> Packet.t -> n:int -> int
 (** [select ~seed pkt ~n] picks an index in \[0, n) from the packet's outer

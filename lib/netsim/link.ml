@@ -118,9 +118,9 @@ and on_deliver t =
   end
 
 and start_tx t =
-  match Pkt_queue.dequeue t.queue with
-  | None -> t.busy <- false
-  | Some pkt ->
+  if Pkt_queue.is_empty t.queue then t.busy <- false
+  else begin
+    let pkt = Pkt_queue.dequeue_unsafe t.queue in
     t.busy <- true;
     Dre.observe t.dre ~bytes_len:pkt.Packet.size;
     t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
@@ -163,6 +163,7 @@ and start_tx t =
             start_tx t)
       in
       ()
+  end
 
 let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
@@ -194,9 +195,26 @@ let create ~sched ~rate_bps ~prop_delay ?queue ?(label = "link") () =
     }
   in
   (* one handler closure per link for its whole lifetime, not one per
-     event: the steady-state transmit path allocates nothing *)
-  t.k_txdone <- Scheduler.register_kind sched (fun slot -> on_txdone t slot);
-  t.k_deliver <- Scheduler.register_kind sched (fun _ -> on_deliver t);
+     event: the steady-state transmit path allocates nothing.  Both
+     kinds are batch-capable — a run of same-nanosecond completions or
+     deliveries on one link dispatches as a single loop with the link's
+     state hot in cache.  Each batch body is literally the singleton
+     handler iterated, so the two forms are equivalent by
+     construction. *)
+  t.k_txdone <-
+    Scheduler.register_kind_batch sched
+      ~single:(fun slot -> on_txdone t slot)
+      ~batch:(fun args n ->
+        for i = 0 to n - 1 do
+          on_txdone t args.(i)
+        done);
+  t.k_deliver <-
+    Scheduler.register_kind_batch sched
+      ~single:(fun _ -> on_deliver t)
+      ~batch:(fun _ n ->
+        for _ = 1 to n do
+          on_deliver t
+        done);
   (* all of this link's events rank under one id, so a wire delivery's
      tie-break does not depend on whether it was scheduled locally
      (k_deliver) or injected across a PDES boundary (k_inject) *)
@@ -215,7 +233,13 @@ let set_boundary t ~dest_sched ~push =
   t.boundary <- Some push;
   t.inject_sched <- Some dest_sched;
   if t.k_inject < 0 then begin
-    t.k_inject <- Scheduler.register_kind dest_sched (fun _ -> on_deliver t);
+    t.k_inject <-
+      Scheduler.register_kind_batch dest_sched
+        ~single:(fun _ -> on_deliver t)
+        ~batch:(fun _ n ->
+          for _ = 1 to n do
+            on_deliver t
+          done);
     (* injected deliveries rank under the link's own id, same as the
        serial k_deliver path would *)
     Scheduler.set_kind_src dest_sched ~kind:t.k_inject ~src:t.src

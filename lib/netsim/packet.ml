@@ -42,11 +42,14 @@ type conga_md = {
   mutable fb_ce : float;
 }
 
+(* all-mutable so a packet's pre-boxed header (see [t.cached_encap]) can
+   be rewritten in place on every transmit instead of allocating a fresh
+   record per packet *)
 type encap = {
-  src_hv : Addr.t;
-  dst_hv : Addr.t;
+  mutable src_hv : Addr.t;
+  mutable dst_hv : Addr.t;
   mutable src_port : int;
-  dst_port : int;
+  mutable dst_port : int;
   mutable feedback : clove_feedback option;
   mutable cell : flowcell option;
 }
@@ -85,19 +88,57 @@ type t = {
   mutable sent_at : Sim_time.t;
   mutable audit_seq : int;
   payload : payload;
+  (* pre-boxed encapsulation header owned by this packet, plus the one
+     [Some] pointing at it: {!install_encap} rewrites the header fields
+     in place and re-installs the cached option, so per-transmit
+     encapsulation allocates nothing.  Attached to the packet (not the
+     pool) because PDES migrates packets between domains: the header
+     must travel with its packet. *)
+  cached_encap : encap;
+  cached_encap_some : encap option;
 }
 
 let stt_port = 7471
 let inner_header_bytes = 40
 let encap_header_bytes = 58
-(* atomic because parallel sweeps allocate packets on several domains;
-   uids are only ever read for pretty-printing and audit labels, so the
-   cross-domain interleaving of values is behavior-irrelevant *)
+(* Uids are only ever read for pretty-printing and audit labels, so
+   their cross-domain interleaving is behavior-irrelevant — but the old
+   per-packet [Atomic.fetch_and_add] bounced a cache line between
+   domains on every allocation in parallel sweeps.  Each domain now
+   draws a block of 4096 uids at a time and hands them out locally:
+   uids stay globally unique, the shared counter is touched once per
+   block, and a single-domain run still sees the exact historical
+   1, 2, 3, … sequence. *)
 let uid_counter = Atomic.make 0
+let uid_block = 4096
 
-let fresh_uid () = 1 + Atomic.fetch_and_add uid_counter 1
+type uid_cursor = { mutable next_uid : int; mutable uid_limit : int }
+
+let uid_key = Domain.DLS.new_key (fun () -> { next_uid = 0; uid_limit = 0 })
+
+let fresh_uid () =
+  let c = Domain.DLS.get uid_key in
+  if c.next_uid = c.uid_limit then begin
+    c.next_uid <- Atomic.fetch_and_add uid_counter uid_block;
+    c.uid_limit <- c.next_uid + uid_block
+  end;
+  let u = c.next_uid in
+  c.next_uid <- u + 1;
+  u + 1
+
+let fresh_encap () =
+  let a = Addr.of_int 0 in
+  {
+    src_hv = a;
+    dst_hv = a;
+    src_port = 0;
+    dst_port = 0;
+    feedback = None;
+    cell = None;
+  }
 
 let make ?(ttl = 64) ~size payload =
+  let cached_encap = fresh_encap () in
   {
     uid = fresh_uid ();
     size;
@@ -110,12 +151,29 @@ let make ?(ttl = 64) ~size payload =
     sent_at = Sim_time.zero;
     audit_seq = -1;
     payload;
+    cached_encap;
+    cached_encap_some = Some cached_encap;
   }
+
+(* Rewrite the packet's own pre-boxed header in place and install it —
+   the steady-state encapsulation path allocates nothing.  [dst_port] is
+   always the STT port on this path; traceroute probes (which vary it)
+   build their headers cold. *)
+let install_encap t ~src_hv ~dst_hv ~src_port ~feedback ~cell =
+  let e = t.cached_encap in
+  e.src_hv <- src_hv;
+  e.dst_hv <- dst_hv;
+  e.src_port <- src_port;
+  e.dst_port <- stt_port;
+  e.feedback <- feedback;
+  e.cell <- cell;
+  t.encap <- t.cached_encap_some
 
 (* pads rings and in-flight slots on the defunctionalized event path;
    built without [fresh_uid] so padding never perturbs the uid stream *)
 let placeholder =
   let a = Addr.of_int 0 in
+  let cached_encap = fresh_encap () in
   {
     uid = -1;
     size = 0;
@@ -128,21 +186,56 @@ let placeholder =
     sent_at = Sim_time.zero;
     audit_seq = -1;
     payload = Probe { probe_id = -1; probe_src = a; probe_dst = a; probe_port = -1 };
+    cached_encap;
+    cached_encap_some = Some cached_encap;
   }
 
 let make_tenant ~src ~dst ~(seg : tcp_seg) =
   let size = seg.payload + inner_header_bytes in
   make ~size (Tenant { src; dst; inner_ecn = Not_ect; seg })
 
+(* Flow keys hash the 5-tuple through a reusable scratch record instead
+   of allocating a fresh tuple per call.  A mutable record of five
+   immediate ints has the same runtime representation as a 5-tuple of
+   ints (tag 0, five immediate fields), and [Hashtbl.hash] is purely
+   structural, so the key values — which feed ECMP port choices and
+   flowlet tables, i.e. the digests — are bit-identical to the tuple
+   version (asserted in test/test_netsim.ml).  Domain-local because
+   parallel sweeps hash on several domains at once. *)
+(* fields are written then consumed structurally by [Hashtbl.hash],
+   never read individually — hence the warning suppression *)
+type flow_key_scratch = {
+  mutable fk_a : int; [@warning "-69"]
+  mutable fk_b : int; [@warning "-69"]
+  mutable fk_c : int; [@warning "-69"]
+  mutable fk_d : int; [@warning "-69"]
+  mutable fk_e : int; [@warning "-69"]
+}
+[@@warning "-69"]
+
+let flow_key_key =
+  Domain.DLS.new_key (fun () ->
+      { fk_a = 0; fk_b = 0; fk_c = 0; fk_d = 0; fk_e = 0 })
+
 let tcp_flow_key inner =
   let s = inner.seg in
-  Hashtbl.hash
-    (Addr.to_int inner.src, Addr.to_int inner.dst, s.src_port, s.dst_port, s.subflow)
+  let k = Domain.DLS.get flow_key_key in
+  k.fk_a <- Addr.to_int inner.src;
+  k.fk_b <- Addr.to_int inner.dst;
+  k.fk_c <- s.src_port;
+  k.fk_d <- s.dst_port;
+  k.fk_e <- s.subflow;
+  Hashtbl.hash k
 
 let tcp_flow_key_rev inner =
   let s = inner.seg in
-  Hashtbl.hash
-    (Addr.to_int inner.dst, Addr.to_int inner.src, s.dst_port, s.src_port, s.subflow)
+  let k = Domain.DLS.get flow_key_key in
+  k.fk_a <- Addr.to_int inner.dst;
+  k.fk_b <- Addr.to_int inner.src;
+  k.fk_c <- s.dst_port;
+  k.fk_d <- s.src_port;
+  k.fk_e <- s.subflow;
+  Hashtbl.hash k
 
 let outer_tuple t =
   match t.encap with
@@ -169,4 +262,9 @@ let pp fmt t =
   Format.fprintf fmt "#%d %s %dB ttl=%d ecn=%a dst=%a" t.uid kind t.size t.ttl pp_ecn
     t.ecn Addr.pp (route_dst t)
 
-let reset_uid_counter_for_tests () = Atomic.set uid_counter 0
+let reset_uid_counter_for_tests () =
+  Atomic.set uid_counter 0;
+  (* invalidate the calling domain's block so it re-draws from zero *)
+  let c = Domain.DLS.get uid_key in
+  c.next_uid <- 0;
+  c.uid_limit <- 0

@@ -72,12 +72,15 @@ type conga_md = {
   mutable fb_ce : float;
 }
 
-(** STT-like encapsulation header added by the source hypervisor. *)
+(** STT-like encapsulation header added by the source hypervisor.  All
+    fields are mutable so the packet's pre-boxed header can be rewritten
+    in place per transmit ({!install_encap}); outside that path they are
+    set once at construction. *)
 type encap = {
-  src_hv : Addr.t;
-  dst_hv : Addr.t;
+  mutable src_hv : Addr.t;
+  mutable dst_hv : Addr.t;
   mutable src_port : int;  (** the field Clove manipulates *)
-  dst_port : int;  (** fixed STT destination port *)
+  mutable dst_port : int;  (** the STT destination port on tenant paths *)
   mutable feedback : clove_feedback option;  (** context bits *)
   mutable cell : flowcell option;  (** Presto tag *)
 }
@@ -120,6 +123,12 @@ type t = {
       (** per-(flow, outer-port) sequence stamped by the invariant
           auditor's FIFO check; [-1] when auditing is off *)
   payload : payload;
+  cached_encap : encap;
+      (** this packet's pre-boxed encapsulation header, rewritten in
+          place by {!install_encap}; travels with the packet across PDES
+          domain migrations *)
+  cached_encap_some : encap option;
+      (** physically [Some cached_encap], installed without allocating *)
 }
 
 val stt_port : int
@@ -130,7 +139,10 @@ val encap_header_bytes : int
 
 val fresh_uid : unit -> int
 (** Next packet uid; used by [Packet_pool] when recycling a packet so a
-    reused record is still distinguishable in logs and audit output. *)
+    reused record is still distinguishable in logs and audit output.
+    Uids come from domain-local blocks drawn off one global counter, so
+    they are globally unique without bouncing a cache line per packet in
+    parallel sweeps; a single-domain run sees the sequential stream. *)
 
 val make : ?ttl:int -> size:int -> payload -> t
 (** Allocates a packet with a fresh [uid]; [size] is the wire size. *)
@@ -143,6 +155,19 @@ val placeholder : t
 val make_tenant :
   src:Addr.t -> dst:Addr.t -> seg:tcp_seg -> t
 (** Wire size is computed from the segment payload + inner headers. *)
+
+val install_encap :
+  t ->
+  src_hv:Addr.t ->
+  dst_hv:Addr.t ->
+  src_port:int ->
+  feedback:clove_feedback option ->
+  cell:flowcell option ->
+  unit
+(** Encapsulate [t] by rewriting its own pre-boxed header in place
+    (destination port = {!stt_port}) and installing the cached [Some] —
+    the steady-state vswitch transmit path allocates nothing.  Probes
+    that vary the destination port build their headers directly. *)
 
 val tcp_flow_key : inner -> int
 (** Deterministic hash of the inner 5-tuple (src, dst, ports, subflow). *)

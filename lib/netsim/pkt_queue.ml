@@ -7,7 +7,10 @@ type stats = {
 }
 
 type t = {
-  q : Packet.t Queue.t;
+  (* circular buffer, not [Queue.t]: stdlib Queue allocates a cons cell
+     per enqueue, which at one enqueue per packet per hop was among the
+     last per-packet allocations on the forwarding path *)
+  q : Packet.t Ring.t;
   capacity : int;
   mutable ecn_threshold : int;
   (* cached [Queue.length t.q]: the enqueue fast path is hot enough that
@@ -25,7 +28,7 @@ type t = {
 let create ?(capacity_pkts = 256) ?(ecn_threshold_pkts = 20) () =
   if capacity_pkts < 1 then invalid_arg "Pkt_queue.create: capacity < 1";
   {
-    q = Queue.create ();
+    q = Ring.create ~capacity:16 ~dummy:Packet.placeholder ();
     capacity = capacity_pkts;
     ecn_threshold = ecn_threshold_pkts;
     len = 0;
@@ -61,7 +64,7 @@ let enqueue t pkt =
          pkt.Packet.ecn <- Packet.Ce;
          t.marked <- t.marked + 1
        | Packet.Ce | Packet.Not_ect -> ());
-    Queue.add pkt t.q;
+    Ring.push t.q pkt;
     t.len <- len;
     t.bytes <- t.bytes + pkt.Packet.size;
     t.enqueued <- t.enqueued + 1;
@@ -69,13 +72,15 @@ let enqueue t pkt =
     true
   end
 
-let dequeue t =
-  match Queue.take_opt t.q with
-  | None -> None
-  | Some pkt ->
-    t.len <- t.len - 1;
-    t.bytes <- t.bytes - pkt.Packet.size;
-    Some pkt
+(* option-free dequeue for the serializer hot loop: the caller checks
+   [is_empty] first (mirrors [Event_queue.pop_unsafe]) *)
+let dequeue_unsafe t =
+  let pkt = Ring.pop t.q in
+  t.len <- t.len - 1;
+  t.bytes <- t.bytes - pkt.Packet.size;
+  pkt
+
+let dequeue t = if t.len = 0 then None else Some (dequeue_unsafe t)
 
 let count_drop t pkt =
   t.dropped <- t.dropped + 1;

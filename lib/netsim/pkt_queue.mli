@@ -26,6 +26,11 @@ val enqueue : t -> Packet.t -> bool
 
 val dequeue : t -> Packet.t option
 
+val dequeue_unsafe : t -> Packet.t
+(** Option-free dequeue; the queue must be non-empty (check {!is_empty}
+    first).  The serializer hot loop uses this to avoid a [Some] box per
+    transmitted packet. *)
+
 val count_drop : t -> Packet.t -> unit
 (** Account a packet lost outside the drop-tail path — e.g. flushed from
     the queue when its link fails — so [dropped]/[dropped_bytes] cover

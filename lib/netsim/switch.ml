@@ -188,9 +188,16 @@ let add_port t ~link ~peer ~parallel_index =
   end;
   let p = t.nports in
   t.ports.(p) <- { link; peer; parallel_index };
+  (* batch-capable lane: a same-nanosecond run of forwards on one
+     ingress port dispatches as a single loop over the port's FIFO ring
+     (the batch body is the singleton handler iterated) *)
   t.k_forwards.(p) <-
-    Scheduler.register_kind t.sched (fun _ ->
-        forward t ~in_port:p (Ring.pop t.pipes.(p)));
+    Scheduler.register_kind_batch t.sched
+      ~single:(fun _ -> forward t ~in_port:p (Ring.pop t.pipes.(p)))
+      ~batch:(fun _ n ->
+        for _ = 1 to n do
+          forward t ~in_port:p (Ring.pop t.pipes.(p))
+        done);
   t.nports <- p + 1;
   p
 

@@ -204,12 +204,19 @@ let parallel_entries =
     (("Thread", "create"), 0);
   ]
 
-(* (module, function) -> 0-based positional index of the handler.  A
-   closure registered as a scheduler dispatch kind becomes its own node
-   so the hot-region analysis can root there, while a call edge from
-   the registering function is kept so the race fixpoint still re-roots
-   whatever the closure captured from the creator's scope. *)
-let dispatch_entries = [ (("Scheduler", "register_kind"), 1) ]
+(* (module, function) -> where the handler argument(s) live: a 0-based
+   positional index, or the labels of the handler arguments (a batched
+   kind registers both a singleton and a batch body — each is a
+   dispatch root).  A closure registered as a scheduler dispatch kind
+   becomes its own node so the hot-region analysis can root there,
+   while a call edge from the registering function is kept so the race
+   fixpoint still re-roots whatever the closure captured from the
+   creator's scope. *)
+let dispatch_entries =
+  [
+    (("Scheduler", "register_kind"), `Positional 1);
+    (("Scheduler", "register_kind_batch"), `Labelled [ "single"; "batch" ]);
+  ]
 
 (* ----------------------------- context ---------------------------- *)
 
@@ -718,44 +725,58 @@ and handle_dispatch ctx it e m v args =
       (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
       args
   in
-  let task_idx = List.assoc (m, v) dispatch_entries in
-  match List.nth_opt positionals task_idx with
-  | None -> visit_args []
-  | Some task -> (
-    let spawn_site = site_of ctx e in
-    match task.exp_desc with
-    | Texp_ident (tp, _, _) ->
-      (* a named handler: the function itself is the dispatch root *)
-      ctx.prog.p_dispatch <-
-        (ref_of_path tp, None, spawn_site) :: ctx.prog.p_dispatch;
-      visit_args []
-    | Texp_apply ({ exp_desc = Texp_ident (tp, _, _); _ }, _) ->
-      (* partially applied handler, e.g. [register_kind s (on_event t)] *)
-      ctx.prog.p_dispatch <-
-        (ref_of_path tp, None, spawn_site) :: ctx.prog.p_dispatch;
-      visit_args []
-    | Texp_function _ ->
-      let node =
-        spawn_node ctx
-          ~id:(Printf.sprintf "%s.<kind@%d>" ctx.cur.n_id spawn_site.s_line)
-          ~site:spawn_site task
-      in
-      ctx.prog.p_dispatch <-
-        (None, Some node.n_id, spawn_site) :: ctx.prog.p_dispatch;
-      (* unlike a parallel task, the handler runs on the registering
-         task's own domain: keep a call edge so the race fixpoint
-         re-roots its captures through the creator, and charge the
-         creator for building the closure (once per registration) *)
-      ctx.cur.n_calls <-
-        { cs_callee = C_node node.n_id; cs_args = []; cs_site = spawn_site }
-        :: ctx.cur.n_calls;
-      ctx.cur.n_allocs <-
-        { al_kind = K_closure;
-          al_desc = "dispatch handler closure";
-          al_site = spawn_site }
-        :: ctx.cur.n_allocs;
-      visit_args [ task ]
-    | _ -> visit_args [])
+  let tasks =
+    match List.assoc (m, v) dispatch_entries with
+    | `Positional i -> (
+      match List.nth_opt positionals i with Some a -> [ a ] | None -> [])
+    | `Labelled names ->
+      List.filter_map
+        (function
+          | Asttypes.Labelled l, Some a when List.mem l names -> Some a
+          | _ -> None)
+        args
+  in
+  let spawn_site = site_of ctx e in
+  let skip =
+    List.filter_map
+      (fun task ->
+        match task.exp_desc with
+        | Texp_ident (tp, _, _) ->
+          (* a named handler: the function itself is the dispatch root *)
+          ctx.prog.p_dispatch <-
+            (ref_of_path tp, None, spawn_site) :: ctx.prog.p_dispatch;
+          None
+        | Texp_apply ({ exp_desc = Texp_ident (tp, _, _); _ }, _) ->
+          (* partially applied handler, e.g. [register_kind s (on_event t)] *)
+          ctx.prog.p_dispatch <-
+            (ref_of_path tp, None, spawn_site) :: ctx.prog.p_dispatch;
+          None
+        | Texp_function _ ->
+          let site = site_of ctx task in
+          let node =
+            spawn_node ctx
+              ~id:(Printf.sprintf "%s.<kind@%d>" ctx.cur.n_id site.s_line)
+              ~site task
+          in
+          ctx.prog.p_dispatch <-
+            (None, Some node.n_id, site) :: ctx.prog.p_dispatch;
+          (* unlike a parallel task, the handler runs on the registering
+             task's own domain: keep a call edge so the race fixpoint
+             re-roots its captures through the creator, and charge the
+             creator for building the closure (once per registration) *)
+          ctx.cur.n_calls <-
+            { cs_callee = C_node node.n_id; cs_args = []; cs_site = site }
+            :: ctx.cur.n_calls;
+          ctx.cur.n_allocs <-
+            { al_kind = K_closure;
+              al_desc = "dispatch handler closure";
+              al_site = site }
+            :: ctx.cur.n_allocs;
+          Some task
+        | _ -> None)
+      tasks
+  in
+  visit_args skip
 
 (* ------------------------- structure walk ------------------------- *)
 

@@ -1,0 +1,153 @@
+(* Deterministic mergeable quantile sketch: a q-digest (Shrivastava et
+   al., SenSys'04) over the integer universe [0, 2^u_bits).
+
+   The digest is a set of counted nodes of the implicit complete binary
+   tree over the universe, identified by 1-based heap numbering (root 1
+   covers everything; the two children of [v] are [2v] and [2v+1]; the
+   leaf for value [x] is [2^u_bits + x]).  Inserts increment leaves;
+   [compress] repeatedly folds low-count families into their parent so
+   at most O(k) nodes survive.  The compress rule only ever merges a
+   family whose total count is at most [n/k], so every internal node
+   carries at most [n/k] weight; a quantile query walks nodes in
+   value-upper-bound order, and the reported value's true rank can be
+   off only by weight hidden in the reported node's ancestors — at most
+   [u_bits] of them — giving the guaranteed rank error
+   [epsilon = u_bits / k] (under 1% with the defaults k = 4096,
+   u_bits = 40).
+
+   Everything is integer arithmetic over sorted node lists: no RNG, no
+   floats in the state, and [merge_into] is plain nodewise addition —
+   so sketches are deterministic and mergeable in any order, which is
+   what lets PDES shards keep private sketches and combine them. *)
+
+type t = {
+  k : int;
+  u_bits : int;
+  counts : (int, int) Hashtbl.t; (* node id -> weight *)
+  mutable n : int; (* total inserted weight *)
+}
+
+let create ?(k = 4096) ?(u_bits = 40) () =
+  if k < 2 then invalid_arg "Quantile_sketch.create: k < 2";
+  if u_bits < 1 || u_bits > 61 then
+    invalid_arg "Quantile_sketch.create: u_bits out of [1, 61]";
+  { k; u_bits; counts = Hashtbl.create 64; n = 0 }
+
+let count t = t.n
+let nodes t = Hashtbl.length t.counts
+let rank_error t = float_of_int t.u_bits /. float_of_int t.k
+
+(* size bound that triggers compression; the classical digest keeps at
+   most 3k nodes *)
+let size_cap t = 3 * t.k
+
+let find0 tbl id = match Hashtbl.find_opt tbl id with Some c -> c | None -> 0
+
+(* One bottom-up pass: fold every family (node, sibling, parent) whose
+   total weight is at most [n/k] into the parent.  Node ids are sorted
+   descending (deeper nodes first) so the pass is deterministic whatever
+   the hash table's iteration order. *)
+let compress_pass t =
+  let thresh = t.n / t.k in
+  if thresh = 0 then false
+  else begin
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.counts [] in
+    let ids = List.sort (fun a b -> Int.compare b a) ids in
+    let merged = ref false in
+    List.iter
+      (fun id ->
+        if id > 1 then
+          match Hashtbl.find_opt t.counts id with
+          | None -> () (* consumed as a sibling earlier in the pass *)
+          | Some c ->
+            let sib = id lxor 1 in
+            let parent = id lsr 1 in
+            let cs = find0 t.counts sib in
+            let cp = find0 t.counts parent in
+            if c + cs + cp <= thresh then begin
+              Hashtbl.remove t.counts id;
+              Hashtbl.remove t.counts sib;
+              Hashtbl.replace t.counts parent (cp + c + cs);
+              merged := true
+            end)
+      ids;
+    !merged
+  end
+
+let compress t =
+  let continue = ref true in
+  while Hashtbl.length t.counts > size_cap t && !continue do
+    continue := compress_pass t
+  done
+
+let add ?(weight = 1) t x =
+  if weight < 0 then invalid_arg "Quantile_sketch.add: negative weight";
+  if weight > 0 then begin
+    let hi = (1 lsl t.u_bits) - 1 in
+    let x = if x < 0 then 0 else if x > hi then hi else x in
+    let leaf = (1 lsl t.u_bits) + x in
+    Hashtbl.replace t.counts leaf (find0 t.counts leaf + weight);
+    t.n <- t.n + weight;
+    if Hashtbl.length t.counts > size_cap t then compress t
+  end
+
+let merge_into t other =
+  if t.k <> other.k || t.u_bits <> other.u_bits then
+    invalid_arg "Quantile_sketch.merge_into: parameter mismatch";
+  (* nodewise integer addition commutes, but fold through a sorted list
+     anyway so the walk order is manifestly deterministic *)
+  let entries = Hashtbl.fold (fun id c acc -> (id, c) :: acc) other.counts [] in
+  List.iter
+    (fun (id, c) -> Hashtbl.replace t.counts id (find0 t.counts id + c))
+    (List.sort
+       (fun (ia, ca) (ib, cb) ->
+         let c = Int.compare ia ib in
+         if c <> 0 then c else Int.compare ca cb)
+       entries);
+  t.n <- t.n + other.n;
+  if Hashtbl.length t.counts > size_cap t then compress t
+
+let merge a b =
+  let t = create ~k:a.k ~u_bits:a.u_bits () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+(* depth of node [id]: position of its most significant bit *)
+let depth id =
+  let rec go id d = if id = 1 then d else go (id lsr 1) (d + 1) in
+  go id 0
+
+(* [(hi, lo, count)] per node, where the node covers values
+   [lo, hi] inclusive *)
+let node_ranges t =
+  Hashtbl.fold
+    (fun id c acc ->
+      let d = depth id in
+      let width = 1 lsl (t.u_bits - d) in
+      let lo = (id - (1 lsl d)) * width in
+      ((lo + width - 1, lo, c) :: acc))
+    t.counts []
+
+let quantile t q =
+  if t.n = 0 then invalid_arg "Quantile_sketch.quantile: empty sketch";
+  let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+  (* walk nodes by ascending upper bound (narrower node first on ties)
+     and report the upper bound of the node where the cumulative weight
+     reaches the target rank *)
+  let ranked =
+    List.sort
+      (fun (hi_a, lo_a, _) (hi_b, lo_b, _) ->
+        let c = Int.compare hi_a hi_b in
+        if c <> 0 then c else Int.compare lo_b lo_a)
+      (node_ranges t)
+  in
+  let target =
+    let r = int_of_float (ceil (q *. float_of_int t.n)) in
+    if r < 1 then 1 else if r > t.n then t.n else r
+  in
+  let rec walk cum = function
+    | [] -> (1 lsl t.u_bits) - 1 (* unreachable: total weight is n *)
+    | (hi, _, c) :: rest -> if cum + c >= target then hi else walk (cum + c) rest
+  in
+  walk 0 ranked

@@ -1,8 +1,13 @@
+(* the two running estimates live in their own all-float record: OCaml
+   lays such a record out as a flat float block, so the two writes per
+   RTT sample store unboxed doubles in place instead of boxing fresh
+   floats (which mutable float fields of the mixed [t] record would) *)
+type ests = { mutable srtt_ns : float; mutable rttvar_ns : float }
+
 type t = {
   min_rto : int;
   max_rto : int;
-  mutable srtt_ns : float;
-  mutable rttvar_ns : float;
+  e : ests;
   mutable have_sample : bool;
   mutable backoff_mult : int;
 }
@@ -11,37 +16,43 @@ let create ?(min_rto = Sim_time.ms 10) ?(max_rto = Sim_time.sec 2.0) () =
   {
     min_rto = Sim_time.span_ns min_rto;
     max_rto = Sim_time.span_ns max_rto;
-    srtt_ns = 0.0;
-    rttvar_ns = 0.0;
+    e = { srtt_ns = 0.0; rttvar_ns = 0.0 };
     have_sample = false;
     backoff_mult = 1;
   }
 
 let sample t rtt =
   let r = float_of_int (Sim_time.span_ns rtt) in
+  let e = t.e in
   if not t.have_sample then begin
-    t.srtt_ns <- r;
-    t.rttvar_ns <- r /. 2.0;
+    e.srtt_ns <- r;
+    e.rttvar_ns <- r /. 2.0;
     t.have_sample <- true
   end
   else begin
     let beta = 0.25 and alpha = 0.125 in
-    t.rttvar_ns <- ((1.0 -. beta) *. t.rttvar_ns) +. (beta *. abs_float (t.srtt_ns -. r));
-    t.srtt_ns <- ((1.0 -. alpha) *. t.srtt_ns) +. (alpha *. r)
+    e.rttvar_ns <- ((1.0 -. beta) *. e.rttvar_ns) +. (beta *. abs_float (e.srtt_ns -. r));
+    e.srtt_ns <- ((1.0 -. alpha) *. e.srtt_ns) +. (alpha *. r)
   end;
   t.backoff_mult <- 1
 
 let rto t =
   let base =
     if not t.have_sample then t.min_rto * 20 (* conservative initial RTO *)
-    else int_of_float (t.srtt_ns +. (4.0 *. t.rttvar_ns))
+    else int_of_float (t.e.srtt_ns +. (4.0 *. t.e.rttvar_ns))
   in
   (* clamp to the floor before backing off, as Linux does: backoff must be
      observable even when SRTT-derived RTO sits below the minimum *)
   let scaled = max t.min_rto base * t.backoff_mult in
   Sim_time.span_of_ns (min t.max_rto scaled)
 
-let srtt t = if t.have_sample then Some (Sim_time.span_of_ns (int_of_float t.srtt_ns)) else None
+let has_sample t = t.have_sample
+
+(* option-free SRTT for per-ACK callers; meaningless before the first
+   sample — guard with {!has_sample} *)
+let srtt_span t = Sim_time.span_of_ns (int_of_float t.e.srtt_ns)
+
+let srtt t = if t.have_sample then Some (srtt_span t) else None
 
 let backoff t = t.backoff_mult <- min (t.backoff_mult * 2) 64
 let reset_backoff t = t.backoff_mult <- 1

@@ -17,6 +17,13 @@ val rto : t -> Sim_time.span
 val srtt : t -> Sim_time.span option
 (** [None] until the first sample. *)
 
+val has_sample : t -> bool
+(** Whether {!srtt_span} is meaningful yet. *)
+
+val srtt_span : t -> Sim_time.span
+(** Option-free SRTT for per-ACK hot paths; returns garbage (zero) before
+    the first sample — guard with {!has_sample}. *)
+
 val backoff : t -> unit
 (** Exponential backoff after a timeout (doubles RTO up to the max). *)
 

@@ -1,52 +1,79 @@
+(* Demux tables are flat {!Int_table}s keyed by the (conn_id, subflow)
+   pair packed into one int: [deliver] runs once per delivered packet,
+   and the stdlib [Hashtbl] version allocated a fresh tuple key plus a
+   [Some] witness per lookup.  Values are stored as [_ option] (the
+   table's dummy is [None]) because no dummy sender/receiver exists; the
+   [Some] is allocated once at registration, never on lookup. *)
+
 type t = {
-  senders : (int * int, Tcp.sender) Hashtbl.t;
-  receivers : (int * int, Tcp.receiver) Hashtbl.t;
-  by_dst : (int, Tcp.sender list ref) Hashtbl.t;
+  senders : Tcp.sender option Int_table.t;
+  receivers : Tcp.receiver option Int_table.t;
+  by_dst : Tcp.sender list Int_table.t; (* dst addr -> its senders *)
   mutable unknown : int;
 }
 
 let create () =
   {
-    senders = Det.create 32;
-    receivers = Det.create 32;
-    by_dst = Det.create 8;
+    senders = Int_table.create ~capacity:32 ~dummy:None ();
+    receivers = Int_table.create ~capacity:32 ~dummy:None ();
+    by_dst = Int_table.create ~capacity:8 ~dummy:[] ();
     unknown = 0;
   }
 
-let compare_key (a1, a2) (b1, b2) =
-  let c = Int.compare a1 b1 in
-  if c <> 0 then c else Int.compare a2 b2
+(* subflow ids are tiny (MPTCP fans out to a handful of paths); packing
+   them into the low 16 bits keeps ascending packed-key order identical
+   to the old lexicographic (conn_id, subflow) order, which [stop_all]
+   and [senders] expose *)
+let subflow_bits = 16
+
+let pack_key ~conn_id ~subflow = (conn_id lsl subflow_bits) lor subflow
+
+let check_key ~conn_id ~subflow =
+  if conn_id < 0 || subflow < 0 || subflow >= 1 lsl subflow_bits then
+    invalid_arg "Stack: conn_id must be >= 0 and subflow in [0, 65535]"
 
 let register_sender t s =
-  Hashtbl.replace t.senders (Tcp.conn_id s, Tcp.subflow_id s) s;
+  let conn_id = Tcp.conn_id s and subflow = Tcp.subflow_id s in
+  check_key ~conn_id ~subflow;
+  Int_table.set t.senders (pack_key ~conn_id ~subflow) (Some s);
   let key = Addr.to_int (Tcp.dst s) in
-  match Hashtbl.find_opt t.by_dst key with
-  | Some r -> r := s :: !r
-  | None -> Hashtbl.replace t.by_dst key (ref [ s ])
+  Int_table.set t.by_dst key (s :: Int_table.find_default t.by_dst key [])
 
 let register_receiver t r =
-  Hashtbl.replace t.receivers (Tcp.conn_id_r r, Tcp.subflow_id_r r) r
+  let conn_id = Tcp.conn_id_r r and subflow = Tcp.subflow_id_r r in
+  check_key ~conn_id ~subflow;
+  Int_table.set t.receivers (pack_key ~conn_id ~subflow) (Some r)
 
 let deliver t (inner : Packet.inner) =
   let seg = inner.Packet.seg in
-  let key = (seg.Packet.conn_id, seg.Packet.subflow) in
+  let key = pack_key ~conn_id:seg.Packet.conn_id ~subflow:seg.Packet.subflow in
   match seg.Packet.kind with
   | Packet.Data -> (
-    match Hashtbl.find_opt t.receivers key with
+    match Int_table.find_default t.receivers key None with
     | Some r -> Tcp.on_data r inner
     | None -> t.unknown <- t.unknown + 1)
   | Packet.Ack -> (
-    match Hashtbl.find_opt t.senders key with
+    match Int_table.find_default t.senders key None with
     | Some s -> Tcp.on_ack s seg
     | None -> t.unknown <- t.unknown + 1)
 
 let ecn_signal_all t ~dst =
-  match Hashtbl.find_opt t.by_dst (Addr.to_int dst) with
-  | Some r -> List.iter Tcp.ecn_signal !r
-  | None -> ()
+  List.iter Tcp.ecn_signal (Int_table.find_default t.by_dst (Addr.to_int dst) [])
 
 let senders t =
-  Det.fold_sorted ~compare:compare_key (fun _ s acc -> s :: acc) t.senders []
+  (* ascending packed keys with prepend: descending (conn_id, subflow),
+     the order the Hashtbl-based version produced *)
+  List.fold_left
+    (fun acc k ->
+      match Int_table.find_default t.senders k None with
+      | Some s -> s :: acc
+      | None -> acc)
+    []
+    (Int_table.sorted_keys t.senders)
 
 let unknown_drops t = t.unknown
-let stop_all t = Det.iter_sorted ~compare:compare_key (fun _ s -> Tcp.stop s) t.senders
+
+let stop_all t =
+  Int_table.iter_sorted
+    (fun _ s -> match s with Some s -> Tcp.stop s | None -> ())
+    t.senders

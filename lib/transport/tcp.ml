@@ -1,5 +1,17 @@
 type job = { end_seq : int; on_complete : unit -> unit }
 
+(* Congestion-control floats live in their own all-float record: OCaml
+   stores such a record as a flat float block, so the per-ACK writes
+   ([cwnd] grows on every ACK) store unboxed doubles in place.  The same
+   fields as mutable floats of the mixed [sender] record would box a
+   fresh float on every write. *)
+type cc = {
+  mutable cwnd : float; (* packets *)
+  mutable ssthresh : float; (* packets *)
+  mutable dctcp_alpha : float; (* DCTCP marked-byte fraction estimate *)
+  mutable min_rtt_ns : float; (* lowest raw sample seen; HyStart baseline *)
+}
+
 type sender = {
   sched : Scheduler.t;
   cfg : Tcp_config.t;
@@ -15,23 +27,24 @@ type sender = {
   mutable snd_una : int;
   mutable snd_next : int;
   mutable stream_end : int;
-  mutable cwnd : float; (* packets *)
-  mutable ssthresh : float; (* packets *)
+  cc : cc;
   mutable dup_acks : int;
   mutable in_recovery : bool;
   mutable recover : int;
   mutable rto_handle : Scheduler.handle option;
   mutable tlp_handle : Scheduler.handle option;
   mutable tlp_fired : bool; (* one probe per flight *)
-  mutable rtt_probe : (int * Sim_time.t) option;
+  (* the in-flight RTT probe, flattened from [(int * Sim_time.t) option]
+     so arming one (once per window) writes two immediates instead of
+     allocating a tuple inside an option; seq < 0 means "no probe" *)
+  mutable rtt_probe_seq : int;
+  mutable rtt_probe_t0 : Sim_time.t;
   mutable last_ecn_cut : Sim_time.t;
   mutable ever_cut : bool;
   (* DCTCP state: fraction of marked bytes over the last window *)
-  mutable dctcp_alpha : float;
   mutable dctcp_acked : int;
   mutable dctcp_marked : int;
   mutable dctcp_window_end : int;
-  mutable min_rtt_ns : float; (* lowest raw sample seen; HyStart baseline *)
   mutable pull : (unit -> int) option;
   mutable ca_increase : (unit -> float) option;
   mutable retransmits : int;
@@ -39,53 +52,15 @@ type sender = {
   mutable stopped : bool;
   mutable on_acked : (int -> unit) option;
   mutable on_timeout : (unit -> unit) option;
+  (* timer bodies, built once per sender: [arm_rto] runs on every ACK and
+     would otherwise allocate a fresh closure each time *)
+  mutable rto_fn : unit -> unit;
+  mutable tlp_fn : unit -> unit;
 }
-
-let create_sender ~sched ~cfg ~conn_id ?(subflow = 0) ~src ~dst ~src_port ~dst_port ~tx
-    () =
-  {
-    sched;
-    cfg;
-    conn_id;
-    subflow;
-    src;
-    dst;
-    src_port;
-    dst_port;
-    tx;
-    jobs = Queue.create ();
-    rtt = Rtt_estimator.create ~min_rto:cfg.Tcp_config.min_rto ~max_rto:cfg.Tcp_config.max_rto ();
-    snd_una = 0;
-    snd_next = 0;
-    stream_end = 0;
-    cwnd = cfg.Tcp_config.init_cwnd_pkts;
-    ssthresh = 1e9;
-    dup_acks = 0;
-    in_recovery = false;
-    recover = 0;
-    rto_handle = None;
-    tlp_handle = None;
-    tlp_fired = false;
-    rtt_probe = None;
-    last_ecn_cut = Sim_time.zero;
-    ever_cut = false;
-    dctcp_alpha = 1.0;
-    dctcp_acked = 0;
-    dctcp_marked = 0;
-    dctcp_window_end = 0;
-    min_rtt_ns = infinity;
-    pull = None;
-    ca_increase = None;
-    retransmits = 0;
-    timeouts = 0;
-    stopped = false;
-    on_acked = None;
-    on_timeout = None;
-  }
 
 let set_pull s f = s.pull <- Some f
 let set_ca_increase s f = s.ca_increase <- Some f
-let cwnd_pkts s = s.cwnd
+let cwnd_pkts s = s.cc.cwnd
 let srtt s = Rtt_estimator.srtt s.rtt
 let flight_bytes s = s.snd_next - s.snd_una
 let snd_una s = s.snd_una
@@ -100,7 +75,7 @@ let set_on_acked s f = s.on_acked <- Some f
 let set_on_timeout s f = s.on_timeout <- Some f
 
 let mss s = s.cfg.Tcp_config.mss
-let cwnd_bytes s = int_of_float (s.cwnd *. float_of_int (mss s))
+let cwnd_bytes s = int_of_float (s.cc.cwnd *. float_of_int (mss s))
 
 let cancel_rto s =
   match s.rto_handle with
@@ -131,21 +106,25 @@ let rec arm_rto s =
   cancel_rto s;
   if flight_bytes s > 0 && not s.stopped then begin
     s.rto_handle <-
-      Some (Scheduler.schedule s.sched ~after:(Rtt_estimator.rto s.rtt) (fun () -> on_rto s));
+      Some (Scheduler.schedule s.sched ~after:(Rtt_estimator.rto s.rtt) s.rto_fn);
     arm_tlp s
   end
 
 and arm_tlp s =
   (* tail loss probe (Linux since 3.10): if no ACK arrives for ~2 SRTT,
      retransmit the last unacked segment; a lost flight tail then recovers
-     via dupacks/cumulative ACK instead of a full RTO *)
+     via dupacks/cumulative ACK instead of a full RTO.  The SRTT is read
+     through the option-free raw accessors: this runs per ACK and the
+     [srtt] option would be a per-ACK box *)
   if (not s.tlp_fired) && s.tlp_handle = None && not s.in_recovery then begin
     let pto =
-      match Rtt_estimator.srtt s.rtt with
-      | Some srtt -> Sim_time.add_span (Sim_time.mul_span srtt 2.0) (Sim_time.us 100)
-      | None -> Sim_time.ms 1
+      if Rtt_estimator.has_sample s.rtt then
+        Sim_time.add_span
+          (Sim_time.mul_span (Rtt_estimator.srtt_span s.rtt) 2.0)
+          (Sim_time.us 100)
+      else Sim_time.ms 1
     in
-    s.tlp_handle <- Some (Scheduler.schedule s.sched ~after:pto (fun () -> on_tlp s))
+    s.tlp_handle <- Some (Scheduler.schedule s.sched ~after:pto s.tlp_fn)
   end
 
 and on_tlp s =
@@ -156,7 +135,7 @@ and on_tlp s =
     let payload = min (mss s) (s.stream_end - seq) in
     if payload > 0 then begin
       s.retransmits <- s.retransmits + 1;
-      s.rtt_probe <- None;
+      s.rtt_probe_seq <- -1;
       emit_data s ~seq ~payload
     end
   end
@@ -169,11 +148,11 @@ and on_rto s =
     s.tlp_fired <- false;
     Rtt_estimator.backoff s.rtt;
     let flight_pkts = float_of_int (flight_bytes s) /. float_of_int (mss s) in
-    s.ssthresh <- Float.max (flight_pkts /. 2.0) 2.0;
-    s.cwnd <- 1.0;
+    s.cc.ssthresh <- Float.max (flight_pkts /. 2.0) 2.0;
+    s.cc.cwnd <- 1.0;
     s.in_recovery <- false;
     s.dup_acks <- 0;
-    s.rtt_probe <- None;
+    s.rtt_probe_seq <- -1;
     (* go-back-N: rewind and retransmit from the oldest unacked byte *)
     s.snd_next <- s.snd_una;
     s.retransmits <- s.retransmits + 1;
@@ -186,11 +165,66 @@ and on_rto s =
     match s.on_timeout with Some f -> f () | None -> ()
   end
 
+let create_sender ~sched ~cfg ~conn_id ?(subflow = 0) ~src ~dst ~src_port ~dst_port ~tx
+    () =
+  let s =
+    {
+      sched;
+      cfg;
+      conn_id;
+      subflow;
+      src;
+      dst;
+      src_port;
+      dst_port;
+      tx;
+      jobs = Queue.create ();
+      rtt = Rtt_estimator.create ~min_rto:cfg.Tcp_config.min_rto ~max_rto:cfg.Tcp_config.max_rto ();
+      snd_una = 0;
+      snd_next = 0;
+      stream_end = 0;
+      cc =
+        {
+          cwnd = cfg.Tcp_config.init_cwnd_pkts;
+          ssthresh = 1e9;
+          dctcp_alpha = 1.0;
+          min_rtt_ns = infinity;
+        };
+      dup_acks = 0;
+      in_recovery = false;
+      recover = 0;
+      rto_handle = None;
+      tlp_handle = None;
+      tlp_fired = false;
+      rtt_probe_seq = -1;
+      rtt_probe_t0 = Sim_time.zero;
+      last_ecn_cut = Sim_time.zero;
+      ever_cut = false;
+      dctcp_acked = 0;
+      dctcp_marked = 0;
+      dctcp_window_end = 0;
+      pull = None;
+      ca_increase = None;
+      retransmits = 0;
+      timeouts = 0;
+      stopped = false;
+      on_acked = None;
+      on_timeout = None;
+      rto_fn = ignore;
+      tlp_fn = ignore;
+    }
+  in
+  (* tie the timer-body knot: the closures capture [s], so they cannot be
+     record-literal fields *)
+  s.rto_fn <- (fun () -> on_rto s);
+  s.tlp_fn <- (fun () -> on_tlp s);
+  s
+
 let retransmit_hole s =
   let payload = min (mss s) (s.stream_end - s.snd_una) in
   if payload > 0 then begin
     s.retransmits <- s.retransmits + 1;
-    s.rtt_probe <- None;
+    s.rtt_probe_seq <- -1;
     emit_data s ~seq:s.snd_una ~payload
   end
 
@@ -207,8 +241,10 @@ let rec try_send s =
     if s.snd_next < s.stream_end && s.snd_next - s.snd_una < cwnd_bytes s then begin
       let payload = min (mss s) (s.stream_end - s.snd_next) in
       emit_data s ~seq:s.snd_next ~payload;
-      if s.rtt_probe = None then
-        s.rtt_probe <- Some (s.snd_next + payload, Scheduler.now s.sched);
+      if s.rtt_probe_seq < 0 then begin
+        s.rtt_probe_seq <- s.snd_next + payload;
+        s.rtt_probe_t0 <- Scheduler.now s.sched
+      end;
       s.snd_next <- s.snd_next + payload;
       if s.rto_handle = None then arm_rto s;
       try_send s
@@ -237,18 +273,17 @@ let window_cut s =
      scales the decrease by the marked fraction instead of halving *)
   let now = Scheduler.now s.sched in
   let guard =
-    match Rtt_estimator.srtt s.rtt with
-    | Some rtt -> rtt
-    | None -> Sim_time.us 100
+    if Rtt_estimator.has_sample s.rtt then Rtt_estimator.srtt_span s.rtt
+    else Sim_time.us 100
   in
   if (not s.ever_cut) || Sim_time.(now >= add s.last_ecn_cut guard) then begin
     s.ever_cut <- true;
     s.last_ecn_cut <- now;
     let factor =
-      if s.cfg.Tcp_config.dctcp then 1.0 -. (s.dctcp_alpha /. 2.0) else 0.5
+      if s.cfg.Tcp_config.dctcp then 1.0 -. (s.cc.dctcp_alpha /. 2.0) else 0.5
     in
-    s.ssthresh <- Float.max (s.cwnd *. factor) 2.0;
-    s.cwnd <- s.ssthresh
+    s.cc.ssthresh <- Float.max (s.cc.cwnd *. factor) 2.0;
+    s.cc.cwnd <- s.cc.ssthresh
   end
 
 let dctcp_account s ~acked_bytes ~ece =
@@ -258,7 +293,7 @@ let dctcp_account s ~acked_bytes ~ece =
     if s.snd_una >= s.dctcp_window_end && s.dctcp_acked > 0 then begin
       let f = float_of_int s.dctcp_marked /. float_of_int s.dctcp_acked in
       let g = s.cfg.Tcp_config.dctcp_g in
-      s.dctcp_alpha <- ((1.0 -. g) *. s.dctcp_alpha) +. (g *. f);
+      s.cc.dctcp_alpha <- ((1.0 -. g) *. s.cc.dctcp_alpha) +. (g *. f);
       s.dctcp_acked <- 0;
       s.dctcp_marked <- 0;
       s.dctcp_window_end <- s.snd_next
@@ -269,14 +304,15 @@ let ecn_signal s = if s.cfg.Tcp_config.respond_to_ecn then window_cut s
 
 let grow_window s ~acked_bytes =
   let acked_pkts = float_of_int acked_bytes /. float_of_int (mss s) in
-  if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd +. acked_pkts (* slow start *)
+  if s.cc.cwnd < s.cc.ssthresh then
+    s.cc.cwnd <- s.cc.cwnd +. acked_pkts (* slow start *)
   else
     let inc =
       match s.ca_increase with
       | Some f -> f () *. acked_pkts
-      | None -> acked_pkts /. s.cwnd
+      | None -> acked_pkts /. s.cc.cwnd
     in
-    s.cwnd <- s.cwnd +. inc
+    s.cc.cwnd <- s.cc.cwnd +. inc
 
 let on_ack s (seg : Packet.tcp_seg) =
   if s.stopped then ()
@@ -286,29 +322,28 @@ let on_ack s (seg : Packet.tcp_seg) =
     if ack > s.snd_una then begin
       let acked_bytes = ack - s.snd_una in
       dctcp_account s ~acked_bytes ~ece:seg.Packet.ece;
-      (match s.rtt_probe with
-      | Some (pseq, t0) when ack >= pseq ->
-        let sample = Sim_time.diff (Scheduler.now s.sched) t0 in
+      if s.rtt_probe_seq >= 0 && ack >= s.rtt_probe_seq then begin
+        let sample = Sim_time.diff (Scheduler.now s.sched) s.rtt_probe_t0 in
         Rtt_estimator.sample s.rtt sample;
         (* the CC heuristics below mirror RTTs as a raw ns float for cheap
            ratio tests — lint: allow sema-time-boundary *)
         let ns = float_of_int (Sim_time.span_ns sample) in
-        if ns < s.min_rtt_ns then s.min_rtt_ns <- ns;
+        if ns < s.cc.min_rtt_ns then s.cc.min_rtt_ns <- ns;
         (* HyStart-style delay increase detection: leave slow start when
            queueing inflates the RTT, instead of overshooting until loss *)
         if
-          s.cwnd < s.ssthresh && s.cwnd > 16.0
-          && Float.is_finite s.min_rtt_ns
-          && ns > s.min_rtt_ns *. 1.5
-        then s.ssthresh <- s.cwnd;
-        s.rtt_probe <- None
-      | _ -> ());
+          s.cc.cwnd < s.cc.ssthresh && s.cc.cwnd > 16.0
+          && Float.is_finite s.cc.min_rtt_ns
+          && ns > s.cc.min_rtt_ns *. 1.5
+        then s.cc.ssthresh <- s.cc.cwnd;
+        s.rtt_probe_seq <- -1
+      end;
       s.snd_una <- ack;
       s.dup_acks <- 0;
       if s.in_recovery then begin
         if ack >= s.recover then begin
           s.in_recovery <- false;
-          s.cwnd <- s.ssthresh
+          s.cc.cwnd <- s.cc.ssthresh
         end
         else
           (* NewReno partial ACK: the next hole is lost too *)
@@ -332,15 +367,15 @@ let on_ack s (seg : Packet.tcp_seg) =
       in
       if s.dup_acks >= threshold && not s.in_recovery then begin
         let flight_pkts = float_of_int (flight_bytes s) /. float_of_int (mss s) in
-        s.ssthresh <- Float.max (flight_pkts /. 2.0) 2.0;
+        s.cc.ssthresh <- Float.max (flight_pkts /. 2.0) 2.0;
         s.in_recovery <- true;
         s.recover <- s.snd_next;
         retransmit_hole s;
-        s.cwnd <- s.ssthresh +. 3.0
+        s.cc.cwnd <- s.cc.ssthresh +. 3.0
       end
       else if s.in_recovery then begin
         (* window inflation per additional dupack *)
-        s.cwnd <- s.cwnd +. 1.0;
+        s.cc.cwnd <- s.cc.cwnd +. 1.0;
         try_send s
       end
     end

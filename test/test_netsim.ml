@@ -57,6 +57,28 @@ let test_flow_key_stability () =
   let key p = match p.Packet.payload with Packet.Tenant i -> Packet.tcp_flow_key i | _ -> 0 in
   check_int "same tuple same key" (key a) (key b)
 
+let prop_flow_key_matches_tuple_hash =
+  (* the scratch-record hash must be bit-identical to hashing the plain
+     5-tuple — [Hashtbl.hash] is structural and a mutable all-int record
+     has a tuple's runtime representation.  The key values feed ECMP
+     port choices, so this equality is what keeps digests stable across
+     the allocation-free rewrite. *)
+  QCheck.Test.make ~name:"flow key equals tuple hash" ~count:500
+    QCheck.(
+      quad (int_bound 1023) (int_bound 1023)
+        (pair (int_bound 65_535) (int_bound 65_535))
+        (int_bound 7))
+    (fun (src, dst, (sp, dp), subflow) ->
+      let seg = { (mk_seg ()) with Packet.src_port = sp; dst_port = dp; subflow } in
+      let pkt =
+        Packet.make_tenant ~src:(Addr.of_int src) ~dst:(Addr.of_int dst) ~seg
+      in
+      match pkt.Packet.payload with
+      | Packet.Tenant inner ->
+        Packet.tcp_flow_key inner = Hashtbl.hash (src, dst, sp, dp, subflow)
+        && Packet.tcp_flow_key_rev inner = Hashtbl.hash (dst, src, dp, sp, subflow)
+      | _ -> false)
+
 (* ------------------------------- Ecmp_hash ------------------------ *)
 
 let test_hash_deterministic () =
@@ -218,6 +240,98 @@ let test_pool_double_release_ignored () =
   let st = Packet_pool.stats () in
   check_int "exactly one hit" 1 st.Packet_pool.hits;
   check_int "second acquire missed" 1 st.Packet_pool.misses
+
+let prop_pool_model =
+  (* model check against the non-pooled constructor: every acquire must be
+     indistinguishable from a fresh [Packet.make_tenant] except for its
+     (fresh) uid; releases feed the free list exactly once (double
+     releases are no-ops); live packets never alias; the per-domain cap
+     holds.  The free list is [Domain.DLS]-persistent across test cases,
+     so all free-list assertions are relative (before/after deltas). *)
+  QCheck.Test.make ~name:"pool acquire/release model" ~count:100
+    QCheck.(small_list (pair bool small_nat))
+    (fun ops ->
+      Packet_pool.reset_stats ();
+      let live = ref [] and dead = ref [] in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (is_acquire, v) ->
+          check ((Packet_pool.stats ()).Packet_pool.pooled <= 8192);
+          if is_acquire then begin
+            let src = Addr.of_int (v land 7)
+            and dst = Addr.of_int (8 + (v land 7)) in
+            let conn_id = v land 1023 and subflow = v land 3 in
+            let src_port = 1000 + (v land 63) and dst_port = 80 in
+            let seq = v and ack = v asr 1 in
+            let payload = 1 + (v land 2047) and ece = v land 1 = 1 in
+            let p =
+              Packet_pool.acquire_tenant ~src ~dst ~conn_id ~subflow
+                ~src_port ~dst_port ~seq ~ack ~kind:Packet.Data ~payload ~ece
+            in
+            let r =
+              Packet.make_tenant ~src ~dst
+                ~seg:
+                  {
+                    Packet.conn_id;
+                    subflow;
+                    src_port;
+                    dst_port;
+                    seq;
+                    ack;
+                    kind = Packet.Data;
+                    payload;
+                    ece;
+                  }
+            in
+            check (p.Packet.size = r.Packet.size);
+            check (p.Packet.ttl = r.Packet.ttl);
+            check (p.Packet.ecn = r.Packet.ecn);
+            check (p.Packet.encap = None && p.Packet.conga = None);
+            check (p.Packet.int_enabled = r.Packet.int_enabled);
+            check (p.Packet.int_util = r.Packet.int_util);
+            check (p.Packet.sent_at = r.Packet.sent_at);
+            check (p.Packet.audit_seq = r.Packet.audit_seq);
+            (match (p.Packet.payload, r.Packet.payload) with
+            | Packet.Tenant pi, Packet.Tenant ri ->
+              check (pi.Packet.src = ri.Packet.src);
+              check (pi.Packet.dst = ri.Packet.dst);
+              check (pi.Packet.inner_ecn = ri.Packet.inner_ecn);
+              check (pi.Packet.seg = ri.Packet.seg)
+            | _ -> check false);
+            check (p.Packet.uid <> r.Packet.uid);
+            check (not (List.exists (fun q -> q == p) !live));
+            (* a recycled record is live again — releasing it now would be
+               a first release, not a double one *)
+            dead := List.filter (fun q -> not (q == p)) !dead;
+            live := p :: !live
+          end
+          else if v land 1 = 1 && !dead <> [] then begin
+            (* double release: already returned once, must be a no-op *)
+            let before = (Packet_pool.stats ()).Packet_pool.pooled in
+            Packet_pool.release (List.hd !dead);
+            check ((Packet_pool.stats ()).Packet_pool.pooled = before)
+          end
+          else
+            match !live with
+            | [] -> ()
+            | l ->
+              let i = v mod List.length l in
+              let p = List.nth l i in
+              live := List.filteri (fun j _ -> j <> i) l;
+              dead := p :: !dead;
+              let st0 = Packet_pool.stats () in
+              Packet_pool.release p;
+              let st1 = Packet_pool.stats () in
+              (* either pooled for reuse or dropped at the cap — never both,
+                 never neither *)
+              check
+                (st1.Packet_pool.pooled = st0.Packet_pool.pooled + 1
+                 && st1.Packet_pool.dropped = st0.Packet_pool.dropped
+                || st1.Packet_pool.pooled = st0.Packet_pool.pooled
+                   && st1.Packet_pool.dropped = st0.Packet_pool.dropped + 1))
+        ops;
+      !ok)
 
 (* ---------------------------------- Link -------------------------- *)
 
@@ -454,6 +568,7 @@ let () =
           Alcotest.test_case "route dst" `Quick test_packet_route_dst;
           Alcotest.test_case "uids" `Quick test_packet_uids_unique;
           Alcotest.test_case "flow key" `Quick test_flow_key_stability;
+          qc prop_flow_key_matches_tuple_hash;
         ] );
       ( "ecmp_hash",
         [
@@ -479,6 +594,7 @@ let () =
           Alcotest.test_case "recycles released packets" `Quick test_pool_recycles;
           Alcotest.test_case "double release ignored" `Quick
             test_pool_double_release_ignored;
+          qc prop_pool_model;
         ] );
       ( "link",
         [

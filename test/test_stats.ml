@@ -154,6 +154,102 @@ let test_histogram_invalid () =
 
 (* --------------------------------- Table -------------------------- *)
 
+(* --------------------------- Quantile_sketch ---------------------- *)
+
+(* true rank of [v] in [values]: how many samples are <= v *)
+let rank_of values v = Array.fold_left (fun n x -> if x <= v then n + 1 else n) 0 values
+
+(* |true_rank(quantile q) - q*n| must stay within the documented
+   guarantee [rank_error * n] (+1 for the ceil of the target rank) *)
+let check_rank_bound ~name sk values qs =
+  let n = Array.length values in
+  let slack = (Quantile_sketch.rank_error sk *. float_of_int n) +. 1.0 in
+  List.iter
+    (fun q ->
+      let v = Quantile_sketch.quantile sk q in
+      let err = abs_float (float_of_int (rank_of values v) -. (q *. float_of_int n)) in
+      if err > slack then
+        Alcotest.failf "%s: q=%.3f rank error %.0f > allowed %.0f" name q err slack)
+    qs
+
+let quantile_probes = [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_sketch_exact_small () =
+  (* below the compression threshold every leaf survives, so quantiles
+     are exact order statistics *)
+  let sk = Quantile_sketch.create () in
+  let values = Array.init 100 (fun i -> (i * 17) mod 101) in
+  Array.iter (Quantile_sketch.add sk) values;
+  Alcotest.(check int) "count" 100 (Quantile_sketch.count sk);
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  Alcotest.(check int) "median is an order statistic" sorted.(49)
+    (Quantile_sketch.quantile sk 0.5)
+
+let test_sketch_rank_error_bound () =
+  (* a small k forces heavy compression; three shapes of stream *)
+  let shapes =
+    [
+      ("uniform", Array.init 50_000 (fun i -> (i * 9973) mod 1_000_000));
+      ("skewed", Array.init 50_000 (fun i -> i * i mod 16_777_216));
+      ("clustered", Array.init 50_000 (fun i -> 1000 * (i mod 7)));
+    ]
+  in
+  List.iter
+    (fun (name, values) ->
+      let sk = Quantile_sketch.create ~k:64 ~u_bits:24 () in
+      Array.iter (Quantile_sketch.add sk) values;
+      check_rank_bound ~name sk values quantile_probes)
+    shapes
+
+let test_sketch_merge_union () =
+  (* merging shard sketches must answer for the union within the same
+     guarantee — the PDES per-shard sink contract *)
+  let a = Quantile_sketch.create ~k:64 ~u_bits:24 () in
+  let b = Quantile_sketch.create ~k:64 ~u_bits:24 () in
+  let va = Array.init 20_000 (fun i -> (i * 7919) mod 500_000) in
+  let vb = Array.init 30_000 (fun i -> 500_000 + ((i * 104729) mod 500_000)) in
+  Array.iter (Quantile_sketch.add a) va;
+  Array.iter (Quantile_sketch.add b) vb;
+  let m = Quantile_sketch.merge a b in
+  Alcotest.(check int) "merged count" 50_000 (Quantile_sketch.count m);
+  check_rank_bound ~name:"merge" m (Array.append va vb) quantile_probes
+
+let test_sketch_deterministic () =
+  let build () =
+    let sk = Quantile_sketch.create ~k:64 ~u_bits:24 () in
+    for i = 0 to 9_999 do
+      Quantile_sketch.add sk ((i * 31) mod 65_536)
+    done;
+    List.map (Quantile_sketch.quantile sk) quantile_probes
+  in
+  Alcotest.(check (list int)) "two builds agree" (build ()) (build ())
+
+let test_sketch_node_bound () =
+  let k = 64 in
+  let sk = Quantile_sketch.create ~k ~u_bits:24 () in
+  for i = 0 to 99_999 do
+    Quantile_sketch.add sk ((i * 2654435761) land 0xFFFFFF)
+  done;
+  Alcotest.(check bool) "nodes within 3k+1" true
+    (Quantile_sketch.nodes sk <= (3 * k) + 1)
+
+let prop_sketch_rank_error =
+  QCheck.Test.make ~name:"sketch rank error within guarantee" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 2_000) (int_bound 4_095))
+    (fun values ->
+      let values = Array.of_list values in
+      let sk = Quantile_sketch.create ~k:16 ~u_bits:12 () in
+      Array.iter (Quantile_sketch.add sk) values;
+      let n = Array.length values in
+      let slack = (Quantile_sketch.rank_error sk *. float_of_int n) +. 1.0 in
+      List.for_all
+        (fun q ->
+          let v = Quantile_sketch.quantile sk q in
+          abs_float (float_of_int (rank_of values v) -. (q *. float_of_int n))
+          <= slack)
+        quantile_probes)
+
 let test_table_render () =
   let t = Table.create ~header:[ "load"; "ECMP"; "Clove" ] in
   Table.add_float_row t ~label:"50" [ 1.5; 0.75 ];
@@ -204,6 +300,17 @@ let () =
           Alcotest.test_case "binning" `Quick test_histogram_binning;
           Alcotest.test_case "weights" `Quick test_histogram_weights;
           Alcotest.test_case "invalid" `Quick test_histogram_invalid;
+        ] );
+      ( "quantile_sketch",
+        [
+          Alcotest.test_case "exact when uncompressed" `Quick
+            test_sketch_exact_small;
+          Alcotest.test_case "rank error within bound" `Quick
+            test_sketch_rank_error_bound;
+          Alcotest.test_case "merge equals union" `Quick test_sketch_merge_union;
+          Alcotest.test_case "deterministic" `Quick test_sketch_deterministic;
+          Alcotest.test_case "node bound" `Quick test_sketch_node_bound;
+          qc prop_sketch_rank_error;
         ] );
       ( "table",
         [
